@@ -1,0 +1,88 @@
+"""ABLATION — the pipeline's constants: gamma, delta, tau.
+
+The paper's guarantees hold for "sufficiently large" conflict-graph
+constants; the builder's repair pass makes any choice safe.  This bench
+sweeps the constants and shows the trade-off the theory predicts:
+
+* small gamma -> fewer greedy colors but more repair splits;
+* large gamma -> more colors, zero repairs;
+* tau near 0 or 1 degrades P_tau toward uniform/linear behaviour on
+  high-diversity instances (the Section 4.1 bound is in
+  tau' = min(tau, 1-tau)).
+"""
+
+import pytest
+
+from repro.geometry.generators import exponential_line, uniform_square
+from repro.scheduling.builder import ScheduleBuilder
+from repro.spanning.tree import AggregationTree
+
+
+def run_gamma_sweep(model):
+    links = AggregationTree.mst(uniform_square(200, rng=131)).links()
+    rows = []
+    for gamma in (0.5, 1.0, 2.0, 4.0):
+        _schedule, report = ScheduleBuilder(
+            model, "global", gamma=gamma
+        ).build_with_report(links)
+        rows.append((gamma, report.initial_colors, report.split_classes, report.final_slots))
+    return rows
+
+
+def run_delta_sweep(model):
+    links = AggregationTree.mst(uniform_square(200, rng=131)).links()
+    rows = []
+    for delta in (0.1, 0.25, 0.5, 0.75):
+        _schedule, report = ScheduleBuilder(
+            model, "oblivious", delta=delta
+        ).build_with_report(links)
+        rows.append((delta, report.initial_colors, report.split_classes, report.final_slots))
+    return rows
+
+
+def run_tau_sweep(model):
+    links = AggregationTree.mst(exponential_line(14)).links()
+    rows = []
+    for tau in (0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0):
+        slots = ScheduleBuilder(model, "oblivious", tau=tau).build(links).num_slots
+        rows.append((tau, slots))
+    return rows
+
+
+def test_ablation_gamma(benchmark, model, emit):
+    rows = benchmark.pedantic(run_gamma_sweep, args=(model,), rounds=1, iterations=1)
+    lines = [f"{'gamma':>7}{'colors':>8}{'splits':>8}{'final':>7}"]
+    for gamma, colors, splits, final in rows:
+        lines.append(f"{gamma:>7}{colors:>8}{splits:>8}{final:>7}")
+    emit("ABLATION: gamma (G_arb threshold constant)", lines)
+    # Larger gamma -> at least as many greedy colors, fewer repairs.
+    assert rows[-1][1] >= rows[0][1]
+    assert rows[-1][2] <= rows[0][2]
+    # Every configuration stays certified and near-constant.
+    assert max(r[3] for r in rows) <= 20
+
+
+def test_ablation_delta(model, emit, benchmark):
+    rows = benchmark.pedantic(run_delta_sweep, args=(model,), rounds=1, iterations=1)
+    lines = [f"{'delta':>7}{'colors':>8}{'splits':>8}{'final':>7}"]
+    for delta, colors, splits, final in rows:
+        lines.append(f"{delta:>7}{colors:>8}{splits:>8}{final:>7}")
+    emit("ABLATION: delta (G_obl exponent)", lines)
+    assert rows[-1][1] >= rows[0][1]
+    assert max(r[3] for r in rows) <= 25
+
+
+def test_ablation_tau(model, emit, benchmark):
+    rows = benchmark.pedantic(run_tau_sweep, args=(model,), rounds=1, iterations=1)
+    lines = [f"{'tau':>6}{'slots on exp chain':>20}"]
+    for tau, slots in rows:
+        lines.append(f"{tau:>6}{slots:>20}")
+    emit("ABLATION: tau (P_tau exponent) on a high-diversity chain", lines)
+    by_tau = dict(rows)
+    # Uniform power (tau = 0) is the degenerate case on a one-directional
+    # exponential chain: near-sequential.  Any tau > 0 does strictly
+    # better.  (The instance defeating ALL tau simultaneously is the
+    # doubly-exponential chain of Section 4.1 — see bench_fig2.)
+    best = min(slots for tau, slots in rows if tau > 0)
+    assert by_tau[0.0] >= len(AggregationTree.mst(exponential_line(14)).links()) * 0.8
+    assert best < by_tau[0.0]

@@ -1,0 +1,61 @@
+"""COR1 — Corollary 1: random deployments schedule in O(log* n) /
+O(log log n) slots w.h.p.
+
+Regenerates: Delta = poly(n) on uniform squares and disks, and the slot
+counts over several seeds (max over seeds ~ w.h.p. bound).
+"""
+
+import math
+
+import pytest
+
+from repro.geometry.diversity import length_diversity
+from repro.geometry.generators import uniform_disk, uniform_square
+from repro.scheduling.builder import ScheduleBuilder
+from repro.spanning.tree import AggregationTree
+from repro.util.mathx import log_star, loglog
+
+SIZES = (64, 256, 1024)
+SEEDS = (1, 2, 3)
+
+
+def run_experiment(model):
+    rows = []
+    for n in SIZES:
+        worst_global, worst_obl, worst_delta = 0, 0, 0.0
+        for seed in SEEDS:
+            points = uniform_square(n, rng=seed)
+            links = AggregationTree.mst(points).links()
+            worst_delta = max(worst_delta, length_diversity(points))
+            worst_global = max(
+                worst_global, ScheduleBuilder(model, "global").build(links).num_slots
+            )
+            worst_obl = max(
+                worst_obl, ScheduleBuilder(model, "oblivious").build(links).num_slots
+            )
+        rows.append((n, worst_delta, worst_global, worst_obl))
+    return rows
+
+
+def test_cor1_random_networks(benchmark, model, emit):
+    rows = benchmark.pedantic(run_experiment, args=(model,), rounds=1, iterations=1)
+    lines = [
+        f"{'n':>6}{'max Delta':>12}{'poly? (n^3)':>12}{'global':>8}"
+        f"{'log* n':>8}{'oblivious':>10}{'loglog n':>9}"
+    ]
+    for n, delta, g, o in rows:
+        lines.append(
+            f"{n:>6}{delta:>12.3g}{str(delta <= n**3):>12}{g:>8}"
+            f"{log_star(n):>8}{o:>10}{loglog(n):>9.1f}"
+        )
+    emit("COR1: random networks (max over 3 seeds)", lines)
+
+    for n, delta, g, o in rows:
+        assert delta <= n**3  # Delta = poly(n) w.h.p.
+        assert g <= 4 * max(1, log_star(n)) + 4
+        assert o <= 5 * max(1.0, loglog(n)) + 5
+
+    # Disk deployments behave identically (spot check).
+    disk_links = AggregationTree.mst(uniform_disk(256, rng=5)).links()
+    disk_slots = ScheduleBuilder(model, "global").build(disk_links).num_slots
+    assert disk_slots <= rows[1][2] + 4

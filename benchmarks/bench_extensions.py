@@ -1,0 +1,97 @@
+"""EXT — the Section 3.1 extensions, quantified.
+
+* rate-vs-latency: MST against the balanced matching tree;
+* Rayleigh fading: constant-factor slowdown under retransmissions;
+* multi-hop: two-tier rate on clustered deployments;
+* k-connectivity (Remark 2): sparsity degradation with k.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.multihop import build_two_tier_aggregation
+from repro.geometry.generators import cluster_points, uniform_square
+from repro.geometry.point import PointSet
+from repro.scheduling.builder import ScheduleBuilder
+from repro.sinr.robustness import FadingChannel, measure_retransmissions
+from repro.spanning.kconnect import sparsity_vs_k
+from repro.spanning.latency import balanced_matching_tree
+from repro.spanning.tree import AggregationTree
+
+
+def test_ext_rate_vs_latency(benchmark, model, emit):
+    def run():
+        points = PointSet(np.arange(48, dtype=float))
+        mst = AggregationTree.mst(points, sink=0)
+        balanced = balanced_matching_tree(points, sink=0)
+        builder = ScheduleBuilder(model, "global")
+        return (
+            (mst.height(), builder.build_for_tree(mst).num_slots),
+            (balanced.height(), builder.build_for_tree(balanced).num_slots),
+        )
+
+    (mst_h, mst_slots), (bal_h, bal_slots) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    emit(
+        "EXT: rate vs latency on a 48-node path (Sec 3.1)",
+        [
+            f"{'tree':<12}{'height (latency)':>18}{'slots (1/rate)':>16}",
+            f"{'MST':<12}{mst_h:>18}{mst_slots:>16}",
+            f"{'balanced':<12}{bal_h:>18}{bal_slots:>16}",
+        ],
+    )
+    assert bal_h < mst_h          # balanced wins latency
+    assert mst_slots <= bal_slots  # MST wins rate
+
+
+def test_ext_rayleigh_fading(benchmark, model, emit):
+    tree = AggregationTree.mst(uniform_square(30, rng=137))
+    schedule = ScheduleBuilder(model, "global").build_for_tree(tree)
+
+    def run():
+        return measure_retransmissions(
+            schedule, FadingChannel(rayleigh=True), periods=30, rng=3
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "EXT: Rayleigh fading with retransmissions (Sec 3.1 / [4])",
+        [
+            f"first-try success rate : {report.success_rate:.2f}",
+            f"effective slowdown     : {report.effective_slowdown:.2f}x "
+            f"(paper: constant factor)",
+        ],
+    )
+    assert report.effective_slowdown <= 12.0
+
+
+def test_ext_multihop_two_tier(benchmark, model, emit):
+    points = cluster_points(9, 9, cluster_std=0.02, side=6.0, rng=139)
+
+    def run():
+        return build_two_tier_aggregation(points, 2.0, model=model)
+
+    plan = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "EXT: two-tier multi-hop aggregation (Sec 3.1)",
+        [
+            plan.summary(),
+            f"cells with >1 node: {len(plan.cell_slots)}, "
+            f"worst local period {plan.local_period}, backbone {plan.backbone_slots}",
+        ],
+    )
+    assert plan.rate > 1.0 / len(points)  # beats trivial TDMA
+
+
+def test_ext_k_connectivity(benchmark, model, emit):
+    points = uniform_square(32, rng=149)
+    rows = benchmark.pedantic(
+        sparsity_vs_k, args=(points, model.alpha, 3), rounds=1, iterations=1
+    )
+    lines = [f"{'k':>3}{'sparsity I(i, S+_i)':>21}{'k^4 envelope':>14}"]
+    for k, value in rows:
+        lines.append(f"{k:>3}{value:>21.2f}{float(k**4):>14.0f}")
+    emit("EXT: Remark 2, sparsity of k-connected structures", lines)
+    for k, value in rows:
+        assert value <= 50.0 * k**4

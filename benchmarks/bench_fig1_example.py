@@ -1,0 +1,54 @@
+"""FIG1 — the paper's Fig. 1 five-node example.
+
+Regenerates: rate 1/2 periodic schedule, latency 3, bounded buffers,
+divergence above capacity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.simulator import AggregationSimulator
+from repro.geometry.point import PointSet
+from repro.scheduling.schedule import Schedule, Slot
+from repro.spanning.tree import AggregationTree
+
+A, C, SINK, D, B = 0, 1, 2, 3, 4
+
+
+def build_fig1(model):
+    points = PointSet(np.array([-2.0, -1.0, 0.0, 1.0, 2.0]))
+    tree = AggregationTree.mst(points, sink=SINK)
+    links = tree.links()
+
+    def link_index(sender):
+        return int(np.flatnonzero(links.sender_ids == sender)[0])
+
+    s1 = Slot.from_arrays([link_index(A), link_index(D)], [1.0, 1.0])
+    s2 = Slot.from_arrays([link_index(C), link_index(B)], [1.0, 1.0])
+    return tree, Schedule(links, [s1, s2], model)
+
+
+def test_fig1_rate_and_latency(benchmark, model, emit):
+    tree, schedule = build_fig1(model)
+
+    def run():
+        return AggregationSimulator(tree, schedule).run(50, rng=0)
+
+    result = benchmark(run)
+    over = AggregationSimulator(tree, schedule).run(30, injection_period=1, max_slots=60)
+    emit(
+        "FIG1: five-node example (paper: rate 1/2, latency 3)",
+        [
+            f"slots/period       : {schedule.num_slots}   (paper: 2)",
+            f"rate               : {schedule.rate:.3f} (paper: 0.5)",
+            f"latency            : {result.max_latency}   (paper: 3)",
+            f"frames completed   : {result.frames_completed}/{result.frames_injected}",
+            f"values correct     : {result.values_correct}",
+            f"max backlog @rate  : {result.max_backlog}",
+            f"backlog @2x rate   : {over.final_backlog} (diverges, as the paper argues)",
+        ],
+    )
+    assert schedule.num_slots == 2
+    assert result.max_latency == 3
+    assert result.stable and result.values_correct
+    assert over.final_backlog > 0

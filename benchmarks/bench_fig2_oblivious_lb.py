@@ -1,0 +1,51 @@
+"""FIG2/P1 — Section 4.1: the doubly-exponential chain defeats every
+oblivious power scheme.
+
+Regenerates: for tau in {0.25, 0.5, 0.75}, no two node-disjoint links
+on the chain are P_tau-feasible, so any tree schedules one link per
+slot: rate Theta(1/log log Delta).  Includes the log-space verification
+at depths whose coordinates exceed IEEE range.
+"""
+
+import pytest
+
+from repro.lowerbounds.oblivious_chain import DoublyExponentialChain
+
+TAUS = (0.25, 0.5, 0.75)
+
+
+def run_experiment(model):
+    rows = []
+    for tau in TAUS:
+        chain = DoublyExponentialChain(7, tau, model=model)
+        verdict = chain.verify_pairwise_infeasible()
+        rows.append((tau, chain.n, chain.loglog_diversity, verdict))
+    # Log-space, far beyond float coordinates.
+    big = DoublyExponentialChain(36, 0.5, model=model)
+    big_verdict = big.verify_pairwise_infeasible()
+    return rows, (big, big_verdict)
+
+
+def test_fig2_oblivious_lower_bound(benchmark, model, emit):
+    (rows, (big, big_verdict)) = benchmark.pedantic(
+        run_experiment, args=(model,), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'tau':>6}{'n':>4}{'loglogDelta':>13}{'pairs':>9}{'feasible':>9}{'rate':>9}"
+    ]
+    for tau, n, lld, v in rows:
+        lines.append(
+            f"{tau:>6}{n:>4}{lld:>13.1f}{v.pairs_checked:>9}"
+            f"{v.feasible_pairs:>9}{'1/' + str(n - 1):>9}"
+        )
+    lines.append(
+        f"log-space n={big.n}: loglogDelta={big.loglog_diversity:.1f}, "
+        f"{big_verdict.pairs_checked} pairs, feasible={big_verdict.feasible_pairs}"
+    )
+    emit("FIG2/P1: oblivious lower bound (paper: no feasible pair)", lines)
+
+    for _tau, _n, _lld, v in rows:
+        assert v.holds
+    assert big_verdict.holds
+    # n tracks loglog(Delta) linearly: the rate is Theta(1/loglog Delta).
+    assert abs(big.n - big.loglog_diversity) <= 6

@@ -1,0 +1,79 @@
+"""PROP2 — Section 5, Proposition 2: on the line, the MST is a
+constant-factor-optimal aggregation tree for P0 and P1.
+
+Regenerates: over random line instances, the MST's greedy SINR schedule
+under uniform/linear power is never much longer than that of any
+alternative spanning tree (random Pruefer trees + the star).
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import PointSet
+from repro.links.linkset import LinkSet
+from repro.power.oblivious import LinearPower, UniformPower
+from repro.scheduling.baselines import greedy_sinr_schedule
+from repro.spanning.tree import AggregationTree
+
+
+def random_line_instance(n, rng):
+    gaps = rng.uniform(0.5, 5.0, size=n - 1) * rng.choice([1.0, 4.0], size=n - 1)
+    return PointSet(np.concatenate([[0.0], np.cumsum(gaps)]))
+
+
+def random_tree_links(points, rng):
+    """A uniform random labelled tree (Pruefer sequence), as links."""
+    n = len(points)
+    prufer = rng.integers(0, n, size=n - 2).tolist()
+    degree = [1] * n
+    for x in prufer:
+        degree[x] += 1
+    edges = []
+    import heapq
+
+    leaves = [i for i in range(n) if degree[i] == 1]
+    heapq.heapify(leaves)
+    for x in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, x))
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, x)
+    u, v = sorted(leaves)[:2]
+    edges.append((u, v))
+    return LinkSet.from_pointset_edges(points, edges)
+
+
+def run_experiment(model):
+    rng = np.random.default_rng(13)
+    rows = []
+    for trial in range(5):
+        points = random_line_instance(12, rng)
+        mst_links = AggregationTree.mst(points).links()
+        for name, scheme in (
+            ("P0", UniformPower(model.alpha)),
+            ("P1", LinearPower(model.alpha)),
+        ):
+            mst_slots = greedy_sinr_schedule(mst_links, scheme, model).num_slots
+            alt_best = min(
+                greedy_sinr_schedule(random_tree_links(points, rng), scheme, model).num_slots
+                for _ in range(6)
+            )
+            rows.append((trial, name, mst_slots, alt_best))
+    return rows
+
+
+def test_prop2_mst_optimal_on_line(benchmark, model, emit):
+    rows = benchmark.pedantic(run_experiment, args=(model,), rounds=1, iterations=1)
+    lines = [f"{'trial':>6}{'scheme':>8}{'MST slots':>10}{'best alt tree':>14}{'ratio':>8}"]
+    worst_ratio = 0.0
+    for trial, name, mst_slots, alt_best in rows:
+        ratio = mst_slots / alt_best
+        worst_ratio = max(worst_ratio, ratio)
+        lines.append(f"{trial:>6}{name:>8}{mst_slots:>10}{alt_best:>14}{ratio:>8.2f}")
+    lines.append(f"worst MST/alternative ratio: {worst_ratio:.2f} (paper: O(1))")
+    emit("PROP2: MST constant-factor optimal on the line for P0/P1", lines)
+
+    # Constant-factor optimality: the MST never loses by more than a
+    # small constant against sampled alternatives.
+    assert worst_ratio <= 2.0

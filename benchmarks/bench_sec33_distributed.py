@@ -1,0 +1,44 @@
+"""SEC33 — Section 3.3: distributed schedule computation.
+
+Regenerates: measured synchronous rounds of the simulated distributed
+protocol vs the paper's envelope O((log n * opt + log^2 n) log Delta),
+and the quality of the distributed coloring vs the centralised one.
+"""
+
+import pytest
+
+from repro.geometry.generators import uniform_square
+from repro.scheduling.builder import ScheduleBuilder
+from repro.scheduling.distributed import DistributedSchedulingSimulator
+from repro.spanning.tree import AggregationTree
+
+SIZES = (50, 100, 200, 400)
+
+
+def run_experiment(model):
+    sim = DistributedSchedulingSimulator(model, "global")
+    rows = []
+    for n in SIZES:
+        links = AggregationTree.mst(uniform_square(n, rng=19)).links()
+        result = sim.run(links, rng=n)
+        _sched, report = ScheduleBuilder(model, "global").build_with_report(links)
+        envelope = sim.predicted_round_envelope(links, result.num_colors)
+        rows.append((n, result, report.initial_colors, envelope))
+    return rows
+
+
+def test_sec33_distributed_rounds(benchmark, model, emit):
+    rows = benchmark.pedantic(run_experiment, args=(model,), rounds=1, iterations=1)
+    lines = [
+        f"{'n':>6}{'colors':>8}{'central':>9}{'phases':>8}{'rounds':>8}{'envelope':>10}"
+    ]
+    for n, result, central, envelope in rows:
+        lines.append(
+            f"{n:>6}{result.num_colors:>8}{central:>9}{result.num_phases:>8}"
+            f"{result.total_rounds:>8}{envelope:>10.0f}"
+        )
+    emit("SEC33: distributed protocol rounds vs paper envelope", lines)
+
+    for n, result, central, envelope in rows:
+        assert result.total_rounds <= 4 * envelope
+        assert result.num_colors <= 3 * central + 2

@@ -1,0 +1,58 @@
+"""THM1 — Theorem 1: schedule length vs n under both power regimes.
+
+Regenerates the paper's headline series: on random deployments the MST
+schedule length stays near ``log* Delta`` (global power) and
+``log log Delta`` (oblivious power) while the instance grows by an
+order of magnitude; the uniform-power baseline drifts upward with
+``log n``.
+"""
+
+import pytest
+
+from repro.core.theory import (
+    predicted_slots_global,
+    predicted_slots_oblivious,
+    predicted_slots_uniform_random,
+)
+from repro.geometry.generators import uniform_square
+from repro.power.oblivious import UniformPower
+from repro.scheduling.baselines import greedy_sinr_schedule
+from repro.scheduling.builder import ScheduleBuilder
+from repro.spanning.tree import AggregationTree
+
+SIZES = (50, 100, 200, 400, 800)
+
+
+def run_sweep(model):
+    rows = []
+    for n in SIZES:
+        links = AggregationTree.mst(uniform_square(n, rng=101)).links()
+        g = ScheduleBuilder(model, "global").build(links).num_slots
+        o = ScheduleBuilder(model, "oblivious").build(links).num_slots
+        u = greedy_sinr_schedule(links, UniformPower(model.alpha), model).num_slots
+        rows.append((n, links.diversity, g, o, u))
+    return rows
+
+
+def test_thm1_schedule_scaling(benchmark, model, emit):
+    rows = benchmark.pedantic(run_sweep, args=(model,), rounds=1, iterations=1)
+    lines = [
+        f"{'n':>5}{'Delta':>10}{'global':>8}{'log*':>6}{'oblivious':>10}"
+        f"{'loglog':>8}{'uniform':>9}{'log n':>7}"
+    ]
+    for n, delta, g, o, u in rows:
+        lines.append(
+            f"{n:>5}{delta:>10.3g}{g:>8}{predicted_slots_global(delta):>6.0f}"
+            f"{o:>10}{predicted_slots_oblivious(delta):>8.1f}{u:>9}"
+            f"{predicted_slots_uniform_random(n):>7.1f}"
+        )
+    emit("THM1: MST schedule length vs n (uniform random square)", lines)
+
+    first, last = rows[0], rows[-1]
+    # 16x more nodes: global stays near-constant (within +4 slots).
+    assert last[2] <= first[2] + 4
+    # Oblivious stays within its loglog envelope.
+    assert last[3] <= 5 * predicted_slots_oblivious(last[1]) + 5
+    # Measured-over-predicted constants stay small.
+    for n, delta, g, o, _u in rows:
+        assert g <= 4 * predicted_slots_global(delta) + 4

@@ -1,0 +1,47 @@
+"""THM2 — Theorem 2: chi(G1(MST)) = O(1).
+
+Regenerates: the greedy color count of the constant-threshold conflict
+graph G1 over MSTs, and the refinement bucket count t, across sizes and
+topologies — both flat.
+"""
+
+import pytest
+
+from repro.coloring.greedy import greedy_coloring
+from repro.coloring.refinement import refine_by_interference
+from repro.conflict.graph import g1_graph
+from repro.geometry.generators import cluster_points, exponential_line, uniform_square
+from repro.spanning.tree import AggregationTree
+
+
+def instances():
+    yield "square-50", AggregationTree.mst(uniform_square(50, rng=7)).links()
+    yield "square-200", AggregationTree.mst(uniform_square(200, rng=7)).links()
+    yield "square-800", AggregationTree.mst(uniform_square(800, rng=7)).links()
+    yield "clusters-100", AggregationTree.mst(
+        cluster_points(10, 10, cluster_std=0.004, rng=7)
+    ).links()
+    yield "expchain-16", AggregationTree.mst(exponential_line(16)).links()
+
+
+def run_experiment(alpha):
+    rows = []
+    for name, links in instances():
+        colors = int(greedy_coloring(g1_graph(links, gamma=1.0)).max()) + 1
+        buckets = len(refine_by_interference(links, alpha))
+        rows.append((name, len(links), colors, buckets))
+    return rows
+
+
+def test_thm2_g1_chromatic_constant(benchmark, model, emit):
+    rows = benchmark.pedantic(run_experiment, args=(model.alpha,), rounds=1, iterations=1)
+    lines = [f"{'instance':<14}{'links':>7}{'chi(G1) greedy':>15}{'refine t':>10}"]
+    for name, m, colors, buckets in rows:
+        lines.append(f"{name:<14}{m:>7}{colors:>15}{buckets:>10}")
+    emit("THM2: chi(G1(MST)) stays constant (paper: O(1))", lines)
+
+    assert max(r[2] for r in rows) <= 8
+    assert max(r[3] for r in rows) <= 8
+    # No growth across a 16x size range.
+    square = [r for r in rows if r[0].startswith("square")]
+    assert square[-1][2] <= square[0][2] + 2

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one paper artefact (figure, theorem or
+claim): it times the core computation via pytest-benchmark, prints the
+paper-shape table with ``emit``, and asserts the qualitative shape so a
+regression fails loudly.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sinr.model import SINRModel
+
+
+@pytest.fixture
+def model() -> SINRModel:
+    return SINRModel(alpha=3.0, beta=1.0)
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a results table so it survives pytest's capture."""
+
+    def _emit(title: str, lines) -> None:
+        with capsys.disabled():
+            print()
+            print(f"### {title}")
+            for line in lines:
+                print(line)
+
+    return _emit

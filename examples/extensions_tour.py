@@ -1,0 +1,79 @@
+"""Tour of the Section 3.1 extensions.
+
+* rate vs latency: MST against a balanced matching tree;
+* power caps: reduced-graph trees and the noise-limited failure mode;
+* fading: retransmissions over a Rayleigh channel;
+* multi-hop: two-tier aggregation on a clustered campus.
+
+Run:  python examples/extensions_tour.py
+"""
+
+import numpy as np
+
+from repro import PointSet, SINRModel, ScheduleBuilder, uniform_square
+from repro.aggregation.multihop import build_two_tier_aggregation
+from repro.errors import InfeasibleError
+from repro.geometry.generators import cluster_points
+from repro.sinr.robustness import FadingChannel, measure_retransmissions
+from repro.spanning.knn_graph import critical_range, power_limited_tree
+from repro.spanning.latency import balanced_matching_tree
+from repro.spanning.tree import AggregationTree
+
+
+def rate_vs_latency(model: SINRModel) -> None:
+    print("--- rate vs latency ---")
+    points = PointSet(np.arange(40, dtype=float))
+    builder = ScheduleBuilder(model, "global")
+    mst = AggregationTree.mst(points, sink=0)
+    balanced = balanced_matching_tree(points, sink=0)
+    for name, tree in (("MST", mst), ("balanced", balanced)):
+        slots = builder.build_for_tree(tree).num_slots
+        print(f"{name:<10} height={tree.height():>3}  slots={slots}")
+
+
+def power_caps(model: SINRModel) -> None:
+    print()
+    print("--- power-limited deployments ---")
+    noisy = SINRModel(alpha=3.0, beta=1.0, noise=1.0, epsilon=0.5)
+    points = uniform_square(40, rng=3)
+    crit = critical_range(points)
+    needed = (1 + noisy.epsilon) * noisy.beta * noisy.noise * crit**noisy.alpha
+    tree = power_limited_tree(points, needed * 1.5, noisy)
+    print(f"critical range {crit:.3f}; cap 1.5x minimum -> tree height {tree.height()}")
+    try:
+        power_limited_tree(points, needed * 0.1, noisy)
+    except InfeasibleError as exc:
+        print(f"cap 0.1x minimum -> {exc}")
+
+
+def fading(model: SINRModel) -> None:
+    print()
+    print("--- Rayleigh fading with acknowledgments ---")
+    tree = AggregationTree.mst(uniform_square(25, rng=5))
+    schedule = ScheduleBuilder(model, "global").build_for_tree(tree)
+    report = measure_retransmissions(schedule, FadingChannel(rayleigh=True), periods=40, rng=1)
+    print(
+        f"first-try success {report.success_rate:.0%}, "
+        f"effective slowdown {report.effective_slowdown:.2f}x (constant, per [4])"
+    )
+
+
+def multihop(model: SINRModel) -> None:
+    print()
+    print("--- two-tier multi-hop aggregation ---")
+    campus = cluster_points(8, 10, cluster_std=0.05, side=8.0, rng=7)
+    plan = build_two_tier_aggregation(campus, 2.0, model=model)
+    print(plan.summary())
+    print(f"trivial TDMA would need {len(campus) - 1} slots; two tiers need {plan.total_period}")
+
+
+def main() -> None:
+    model = SINRModel(alpha=3.0, beta=1.0)
+    rate_vs_latency(model)
+    power_caps(model)
+    fading(model)
+    multihop(model)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Why power control matters: schedule length vs length diversity.
+
+Sweeps exponentially spaced chains (high diversity) and random squares
+(poly diversity) and prints how each scheduling strategy's slot count
+grows — the executable version of the paper's core narrative: uniform
+power degrades linearly on adversarial instances while the Theorem-1
+pipeline stays near-constant.
+
+Run:  python examples/power_control_study.py
+"""
+
+from repro import (
+    SINRModel,
+    compare_power_modes,
+    exponential_line,
+    predicted_slots_global,
+    predicted_slots_oblivious,
+    uniform_square,
+)
+
+
+def sweep(title: str, instances) -> None:
+    print(f"--- {title} ---")
+    header = (
+        f"{'n':>5}{'Delta':>12}{'global':>8}{'oblivi':>8}"
+        f"{'unifrm':>8}{'tdma':>8}{'log*':>6}{'loglog':>8}"
+    )
+    print(header)
+    for points in instances:
+        comparison = compare_power_modes(points, model=SINRModel())
+        by = comparison.by_strategy()
+        print(
+            f"{comparison.n:>5}{comparison.diversity:>12.3g}"
+            f"{by['global'].slots:>8}{by['oblivious'].slots:>8}"
+            f"{by['uniform-greedy'].slots:>8}{by['tdma'].slots:>8}"
+            f"{predicted_slots_global(comparison.diversity):>6.0f}"
+            f"{predicted_slots_oblivious(comparison.diversity):>8.1f}"
+        )
+    print()
+
+
+def main() -> None:
+    sweep(
+        "exponential chains (adversarial diversity)",
+        [exponential_line(n) for n in (6, 10, 14, 18)],
+    )
+    sweep(
+        "uniform random squares (polynomial diversity)",
+        [uniform_square(n, rng=3) for n in (25, 50, 100, 200)],
+    )
+    print(
+        "Shape check: 'uniform' tracks n on the chains (no spatial reuse\n"
+        "possible without power control) while 'global'/'oblivious' stay\n"
+        "near-constant, matching Theorem 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e . --no-use-pep517`` works in offline environments that
+lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,145 @@
+"""repro — Wireless Aggregation at Nearly Constant Rate.
+
+A from-scratch Python reproduction of Halldorsson & Tonoyan,
+*Wireless Aggregation at Nearly Constant Rate* (ICDCS 2018,
+arXiv:1712.03053): convergecast scheduling in the physical (SINR)
+interference model with near-constant aggregation rate.
+
+Quickstart
+----------
+>>> from repro import AggregationProtocol, uniform_square
+>>> points = uniform_square(100, rng=0)
+>>> result = AggregationProtocol(mode="global").build(points, num_frames=5)
+>>> result.measured_slots  # doctest: +SKIP
+7
+"""
+
+from repro._version import __version__
+from repro.aggregation import (
+    COUNT,
+    MAX,
+    MEAN,
+    MIN,
+    SUM,
+    AggregationFunction,
+    AggregationSimulator,
+    ConvergecastResult,
+    median_via_counting,
+    run_convergecast,
+)
+from repro.conflict import (
+    ConflictGraph,
+    arbitrary_graph,
+    g1_graph,
+    oblivious_graph,
+)
+from repro.core import (
+    AggregationProtocol,
+    compare_power_modes,
+    predicted_slots,
+    predicted_slots_global,
+    predicted_slots_oblivious,
+)
+from repro.errors import (
+    ConfigurationError,
+    ConstructionError,
+    GeometryError,
+    InfeasibleError,
+    LinkError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+)
+from repro.geometry import (
+    PointSet,
+    cluster_points,
+    exponential_line,
+    grid_points,
+    length_diversity,
+    line_points,
+    uniform_disk,
+    uniform_square,
+)
+from repro.links import Link, LinkSet
+from repro.lowerbounds import (
+    DoublyExponentialChain,
+    MstSuboptimalFamily,
+    RecursiveLogStarInstance,
+)
+from repro.power import (
+    GlobalPowerSolver,
+    LinearPower,
+    ObliviousPower,
+    UniformPower,
+    mean_power,
+)
+from repro.scheduling import (
+    DistributedSchedulingSimulator,
+    PowerMode,
+    Schedule,
+    ScheduleBuilder,
+    greedy_sinr_schedule,
+    protocol_model_schedule,
+    trivial_tdma_schedule,
+)
+from repro.sinr import SINRModel
+from repro.spanning import AggregationTree, mst_edges
+
+__all__ = [
+    "AggregationFunction",
+    "AggregationProtocol",
+    "AggregationSimulator",
+    "AggregationTree",
+    "COUNT",
+    "ConfigurationError",
+    "ConflictGraph",
+    "ConstructionError",
+    "ConvergecastResult",
+    "DistributedSchedulingSimulator",
+    "DoublyExponentialChain",
+    "GeometryError",
+    "GlobalPowerSolver",
+    "InfeasibleError",
+    "LinearPower",
+    "Link",
+    "LinkError",
+    "LinkSet",
+    "MAX",
+    "MEAN",
+    "MIN",
+    "MstSuboptimalFamily",
+    "ObliviousPower",
+    "PointSet",
+    "PowerMode",
+    "RecursiveLogStarInstance",
+    "ReproError",
+    "SINRModel",
+    "SUM",
+    "Schedule",
+    "ScheduleBuilder",
+    "ScheduleError",
+    "SimulationError",
+    "UniformPower",
+    "__version__",
+    "arbitrary_graph",
+    "cluster_points",
+    "compare_power_modes",
+    "exponential_line",
+    "g1_graph",
+    "greedy_sinr_schedule",
+    "grid_points",
+    "length_diversity",
+    "line_points",
+    "mean_power",
+    "median_via_counting",
+    "mst_edges",
+    "oblivious_graph",
+    "predicted_slots",
+    "predicted_slots_global",
+    "predicted_slots_oblivious",
+    "protocol_model_schedule",
+    "run_convergecast",
+    "trivial_tdma_schedule",
+    "uniform_disk",
+    "uniform_square",
+]

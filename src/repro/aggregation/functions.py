@@ -1,0 +1,79 @@
+"""Compressible aggregation functions.
+
+The paper assumes a fully compressible aggregate: combining any number
+of partial values yields a single packet-sized value.  An
+:class:`AggregationFunction` is a commutative, associative monoid
+``(lift, combine, identity)`` — enough structure for in-network
+aggregation along any tree to compute the same result as a centralised
+evaluation (a property the tests verify).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Tuple
+
+__all__ = ["AggregationFunction", "SUM", "MAX", "MIN", "COUNT", "MEAN"]
+
+
+@dataclass(frozen=True)
+class AggregationFunction:
+    """A compressible aggregate as a commutative monoid.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    lift:
+        Maps a raw sensor reading to the monoid carrier.
+    combine:
+        Associative, commutative binary operation on the carrier.
+    finalize:
+        Maps the combined carrier value to the user-facing result
+        (identity for sum/max; division for mean).
+    """
+
+    name: str
+    lift: Callable[[float], object]
+    combine: Callable[[object, object], object]
+    finalize: Callable[[object], float] = staticmethod(lambda v: v)  # type: ignore[assignment]
+
+    def aggregate(self, readings: Iterable[float]) -> float:
+        """Centralised reference evaluation (for verification)."""
+        iterator = iter(readings)
+        try:
+            acc = self.lift(next(iterator))
+        except StopIteration:
+            raise ValueError("cannot aggregate zero readings") from None
+        for r in iterator:
+            acc = self.combine(acc, self.lift(r))
+        return self.finalize(acc)
+
+    def __repr__(self) -> str:
+        return f"AggregationFunction({self.name})"
+
+
+SUM = AggregationFunction("sum", lift=float, combine=lambda a, b: a + b)
+
+MAX = AggregationFunction("max", lift=float, combine=max)
+
+MIN = AggregationFunction("min", lift=float, combine=min)
+
+COUNT = AggregationFunction("count", lift=lambda _r: 1, combine=lambda a, b: a + b)
+
+MEAN = AggregationFunction(
+    "mean",
+    lift=lambda r: (float(r), 1),
+    combine=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+    finalize=lambda v: v[0] / v[1],
+)
+
+
+def threshold_count(threshold: float) -> AggregationFunction:
+    """Counting aggregate "how many readings exceed ``threshold``" — the
+    building block of the median computation (Section 3.1)."""
+    return AggregationFunction(
+        f"count>{threshold:g}",
+        lift=lambda r: 1 if r > threshold else 0,
+        combine=lambda a, b: a + b,
+    )

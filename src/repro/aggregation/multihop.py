@@ -1,0 +1,130 @@
+"""Multi-hop extension (§3.1 "Multi-hop settings").
+
+The single-hop analysis assumes all nodes are mutually reachable.  The
+paper's recipe for multi-hop deployments: pick local leaders, aggregate
+within each locality using the MST pipeline, and flood among leaders
+over roughly-equal-length links (whose constant-rate scheduling is
+classic).  This module implements that two-tier protocol:
+
+1. grid-cell clustering at a chosen cell size (leaders = one node per
+   non-empty cell),
+2. per-cell convergecast schedules from the ordinary builder,
+3. a leader backbone (MST over leaders, whose links are within a
+   constant factor of the cell size) scheduled the same way,
+4. a combined rate statement: the two tiers time-share, so the total
+   period is the sum of tier periods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.point import PointSet
+from repro.scheduling.builder import PowerMode, ScheduleBuilder
+from repro.sinr.model import SINRModel
+from repro.spanning.tree import AggregationTree
+
+__all__ = ["TwoTierPlan", "build_two_tier_aggregation", "grid_cells"]
+
+
+def grid_cells(points: PointSet, cell_size: float) -> Dict[Tuple[int, int], List[int]]:
+    """Partition node indices into grid cells of the given size."""
+    if cell_size <= 0:
+        raise GeometryError(f"cell_size must be positive, got {cell_size}")
+    coords = points.coords
+    if coords.shape[1] == 1:
+        coords = np.column_stack([coords[:, 0], np.zeros(len(points))])
+    cells: Dict[Tuple[int, int], List[int]] = {}
+    for i, (x, y) in enumerate(coords[:, :2]):
+        key = (int(np.floor(x / cell_size)), int(np.floor(y / cell_size)))
+        cells.setdefault(key, []).append(i)
+    return cells
+
+
+@dataclass
+class TwoTierPlan:
+    """The assembled multi-hop aggregation plan."""
+
+    cell_size: float
+    leaders: List[int]
+    cell_trees: List[AggregationTree] = field(default_factory=list)
+    cell_slots: List[int] = field(default_factory=list)
+    backbone_tree: Optional[AggregationTree] = None
+    backbone_slots: int = 0
+
+    @property
+    def local_period(self) -> int:
+        """Worst per-cell schedule length; cells far apart could share
+        slots, so this is a conservative (un-reused) figure."""
+        return max(self.cell_slots, default=0)
+
+    @property
+    def total_period(self) -> int:
+        """Time-shared period: local tier then backbone tier."""
+        return self.local_period + self.backbone_slots
+
+    @property
+    def rate(self) -> float:
+        """End-to-end sustained aggregation rate."""
+        return 1.0 / max(1, self.total_period)
+
+    def summary(self) -> str:
+        return (
+            f"two-tier plan: {len(self.leaders)} cells (size {self.cell_size:g}), "
+            f"local period {self.local_period}, backbone {self.backbone_slots}, "
+            f"rate 1/{self.total_period}"
+        )
+
+
+def build_two_tier_aggregation(
+    points: PointSet,
+    cell_size: float,
+    *,
+    sink: int = 0,
+    model: Optional[SINRModel] = None,
+    mode: PowerMode | str = PowerMode.GLOBAL,
+) -> TwoTierPlan:
+    """Build the two-tier multi-hop plan.
+
+    The leader of the sink's cell is the sink itself, so the backbone
+    converges to the true sink.  Backbone links connect neighbouring
+    occupied cells and are therefore Theta(cell_size) long — the
+    "roughly equal length" regime the paper reduces to.
+    """
+    model = model or SINRModel()
+    cells = grid_cells(points, cell_size)
+    builder = ScheduleBuilder(model, mode)
+
+    leaders: List[int] = []
+    cell_trees: List[AggregationTree] = []
+    cell_slots: List[int] = []
+    for key, members in sorted(cells.items()):
+        if sink in members:
+            leader = sink
+        else:
+            leader = members[0]
+        leaders.append(leader)
+        if len(members) > 1:
+            sub_points = PointSet(points.coords[members], check=False)
+            local_sink = members.index(leader)
+            tree = AggregationTree.mst(sub_points, sink=local_sink)
+            cell_trees.append(tree)
+            cell_slots.append(builder.build_for_tree(tree).num_slots)
+
+    plan = TwoTierPlan(
+        cell_size=cell_size,
+        leaders=leaders,
+        cell_trees=cell_trees,
+        cell_slots=cell_slots,
+    )
+    if len(leaders) > 1:
+        leader_points = PointSet(points.coords[leaders], check=False)
+        backbone_sink = leaders.index(sink) if sink in leaders else 0
+        backbone = AggregationTree.mst(leader_points, sink=backbone_sink)
+        plan.backbone_tree = backbone
+        plan.backbone_slots = builder.build_for_tree(backbone).num_slots
+    return plan

@@ -1,0 +1,132 @@
+"""Command-line interface: ``repro-aggregate`` / ``python -m repro``.
+
+Subcommands
+-----------
+``schedule``  — build a certified schedule for a random deployment and
+print the build report.
+``simulate``  — additionally run the frame-level convergecast simulator.
+``compare``   — tabulate all power regimes on one instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.capacity import compare_power_modes
+from repro.core.protocol import AggregationProtocol
+from repro.geometry.generators import (
+    cluster_points,
+    exponential_line,
+    grid_points,
+    uniform_disk,
+    uniform_square,
+)
+from repro.scheduling.builder import PowerMode
+from repro.sinr.model import SINRModel
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_points(args: argparse.Namespace):
+    if args.topology == "square":
+        return uniform_square(args.n, rng=args.seed)
+    if args.topology == "disk":
+        return uniform_disk(args.n, rng=args.seed)
+    if args.topology == "grid":
+        side = max(2, int(round(args.n**0.5)))
+        return grid_points(side, side)
+    if args.topology == "clusters":
+        per = max(2, args.n // 10)
+        return cluster_points(10, per, rng=args.seed)
+    if args.topology == "exponential":
+        return exponential_line(args.n)
+    raise SystemExit(f"unknown topology {args.topology!r}")
+
+
+def _add_instance_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=100, help="number of nodes")
+    parser.add_argument(
+        "--topology",
+        choices=["square", "disk", "grid", "clusters", "exponential"],
+        default="square",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument("--alpha", type=float, default=3.0, help="path-loss exponent")
+    parser.add_argument("--beta", type=float, default=1.0, help="SINR threshold")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-aggregate",
+        description="Near-constant-rate wireless aggregation scheduling (ICDCS 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_schedule = sub.add_parser("schedule", help="build a certified schedule")
+    _add_instance_args(p_schedule)
+    p_schedule.add_argument(
+        "--mode",
+        choices=[m.value for m in PowerMode],
+        default="global",
+        help="power-control mode",
+    )
+
+    p_simulate = sub.add_parser("simulate", help="build and simulate convergecast")
+    _add_instance_args(p_simulate)
+    p_simulate.add_argument("--mode", choices=[m.value for m in PowerMode], default="global")
+    p_simulate.add_argument("--frames", type=int, default=20, help="frames to aggregate")
+
+    p_compare = sub.add_parser("compare", help="compare power regimes")
+    _add_instance_args(p_compare)
+    p_compare.add_argument(
+        "--no-baselines", action="store_true", help="skip baseline schedulers"
+    )
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper experiment")
+    p_exp.add_argument(
+        "id",
+        nargs="?",
+        default=None,
+        help="experiment id (FIG1, THM1, THM2, FIG2, FIG3, FIG4, BASE, OPT); omit to list",
+    )
+    p_exp.add_argument("--alpha", type=float, default=3.0)
+    p_exp.add_argument("--beta", type=float, default=1.0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    model = SINRModel(alpha=args.alpha, beta=args.beta)
+
+    if args.command == "experiment":
+        from repro.core.experiments import list_experiments, run_experiment
+
+        if args.id is None:
+            print("available experiments:", ", ".join(list_experiments()))
+        else:
+            print(run_experiment(args.id, model))
+        return 0
+
+    points = _make_points(args)
+
+    if args.command == "schedule":
+        result = AggregationProtocol(args.mode, model=model).build(points)
+        print(result.summary())
+    elif args.command == "simulate":
+        result = AggregationProtocol(args.mode, model=model).build(
+            points, num_frames=args.frames, rng=args.seed
+        )
+        print(result.summary())
+    elif args.command == "compare":
+        comparison = compare_power_modes(
+            points, model=model, include_baselines=not args.no_baselines
+        )
+        print(f"n={comparison.n} diversity={comparison.diversity:.4g}")
+        print(comparison.table())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Coloring algorithms: greedy first-fit, Theorem-2 refinement, multicoloring."""
+
+from repro.coloring.greedy import greedy_coloring, greedy_coloring_by_order
+from repro.coloring.multicolor import cycle_multicoloring_demo
+from repro.coloring.refinement import refine_by_interference
+from repro.coloring.validation import color_classes, is_proper_coloring
+
+__all__ = [
+    "color_classes",
+    "cycle_multicoloring_demo",
+    "greedy_coloring",
+    "greedy_coloring_by_order",
+    "is_proper_coloring",
+    "refine_by_interference",
+]

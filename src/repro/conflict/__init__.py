@@ -1,0 +1,22 @@
+"""The conflict-graph family ``G_f`` of Halldorsson-Tonoyan [12, 13]."""
+
+from repro.conflict.functions import (
+    ConstantThreshold,
+    LogThreshold,
+    PowerLawThreshold,
+    ThresholdFunction,
+)
+from repro.conflict.graph import ConflictGraph, arbitrary_graph, g1_graph, oblivious_graph
+from repro.conflict.independence import inductive_independence_number
+
+__all__ = [
+    "ConflictGraph",
+    "ConstantThreshold",
+    "LogThreshold",
+    "PowerLawThreshold",
+    "ThresholdFunction",
+    "arbitrary_graph",
+    "g1_graph",
+    "inductive_independence_number",
+    "oblivious_graph",
+]

@@ -1,0 +1,134 @@
+"""Conflict-graph construction and queries.
+
+A :class:`ConflictGraph` is the graph ``G_f(L)`` over a link set: links
+are vertices, and ``i ~ j`` iff they are *f-conflicting* (Appendix A).
+Construction is fully vectorised; the adjacency matrix is boolean.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.conflict.functions import (
+    ConstantThreshold,
+    LogThreshold,
+    PowerLawThreshold,
+    ThresholdFunction,
+)
+from repro.constants import DEFAULT_DELTA, DEFAULT_GAMMA
+from repro.errors import ConfigurationError
+from repro.links.linkset import LinkSet
+
+__all__ = ["ConflictGraph", "g1_graph", "oblivious_graph", "arbitrary_graph"]
+
+
+class ConflictGraph:
+    """The conflict graph ``G_f(L)``.
+
+    Parameters
+    ----------
+    links:
+        The link set (vertex ``i`` is ``links`` entry ``i``).
+    threshold:
+        The function ``f`` defining independence.
+    """
+
+    def __init__(self, links: LinkSet, threshold: ThresholdFunction) -> None:
+        self.links = links
+        self.threshold = threshold
+        self._adjacency = self._build()
+
+    def _build(self) -> np.ndarray:
+        lengths = self.links.lengths
+        gap = self.links.link_distances()
+        lmin = np.minimum(lengths[:, None], lengths[None, :])
+        lmax = np.maximum(lengths[:, None], lengths[None, :])
+        ratio = lmax / lmin
+        # Conflict iff d(i, j) <= l_min * f(l_max / l_min).
+        adjacent = gap <= lmin * self.threshold(ratio)
+        np.fill_diagonal(adjacent, False)
+        adjacent.setflags(write=False)
+        return adjacent
+
+    # ------------------------------------------------------------------
+    @property
+    def adjacency(self) -> np.ndarray:
+        """Read-only boolean adjacency matrix."""
+        return self._adjacency
+
+    @property
+    def n(self) -> int:
+        """Number of vertices (= links)."""
+        return len(self.links)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of conflict edges."""
+        return int(self._adjacency.sum()) // 2
+
+    def neighbors(self, i: int) -> np.ndarray:
+        """Indices adjacent to vertex ``i``."""
+        return np.flatnonzero(self._adjacency[i])
+
+    def degree(self, i: int) -> int:
+        """Degree of vertex ``i``."""
+        return int(self._adjacency[i].sum())
+
+    def max_degree(self) -> int:
+        """Maximum degree."""
+        if self.n == 0:
+            return 0
+        return int(self._adjacency.sum(axis=1).max())
+
+    def are_adjacent(self, i: int, j: int) -> bool:
+        """Whether links ``i`` and ``j`` conflict."""
+        return bool(self._adjacency[i, j])
+
+    def is_independent(self, subset: Sequence[int]) -> bool:
+        """Whether ``subset`` is pairwise f-independent."""
+        idx = np.asarray(subset, dtype=int)
+        if idx.size <= 1:
+            return True
+        block = self._adjacency[np.ix_(idx, idx)]
+        return not bool(block.any())
+
+    def to_networkx(self) -> nx.Graph:
+        """Export as a :mod:`networkx` graph (vertex = link index)."""
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        rows, cols = np.nonzero(np.triu(self._adjacency, k=1))
+        g.add_edges_from(zip(rows.tolist(), cols.tolist()))
+        return g
+
+    def subgraph(self, indices: Sequence[int]) -> "ConflictGraph":
+        """Induced conflict graph on a subset of links."""
+        return ConflictGraph(self.links.subset(indices), self.threshold)
+
+    def __repr__(self) -> str:
+        return f"ConflictGraph({self.threshold.name}, n={self.n}, m={self.edge_count})"
+
+
+def g1_graph(links: LinkSet, gamma: float = DEFAULT_GAMMA) -> ConflictGraph:
+    """The constant-threshold graph ``G_gamma`` (Theorem 2's ``G1``)."""
+    return ConflictGraph(links, ConstantThreshold(gamma))
+
+
+def oblivious_graph(
+    links: LinkSet, gamma: float = DEFAULT_GAMMA, delta: float = DEFAULT_DELTA
+) -> ConflictGraph:
+    """``G_obl = G^delta_gamma``: independent sets are ``P_tau``-feasible
+    for suitable constants; chromatic number is
+    ``O(log log Delta) * chi(G1)``."""
+    return ConflictGraph(links, PowerLawThreshold(gamma, delta))
+
+
+def arbitrary_graph(
+    links: LinkSet, gamma: float = DEFAULT_GAMMA, alpha: float = 3.0
+) -> ConflictGraph:
+    """``G_arb = G_{gamma log}``: independent sets are feasible under
+    global power control; chromatic number is
+    ``O(log* Delta) * chi(G1)``."""
+    return ConflictGraph(links, LogThreshold(gamma, alpha))

@@ -1,0 +1,18 @@
+"""The paper's contribution as a public API."""
+
+from repro.core.capacity import CapacityComparison, compare_power_modes
+from repro.core.protocol import AggregationProtocol
+from repro.core.theory import (
+    predicted_slots,
+    predicted_slots_global,
+    predicted_slots_oblivious,
+)
+
+__all__ = [
+    "AggregationProtocol",
+    "CapacityComparison",
+    "compare_power_modes",
+    "predicted_slots",
+    "predicted_slots_global",
+    "predicted_slots_oblivious",
+]

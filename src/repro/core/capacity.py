@@ -1,0 +1,111 @@
+"""Aggregation-capacity comparison across power modes.
+
+The paper's central narrative is the gap between power-control regimes:
+global power achieves ``O(log* Delta)`` slots, oblivious power
+``O(log log Delta)``, and no power control can be forced to ``Theta(n)``.
+This module runs all modes on one instance and tabulates the outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.theory import predicted_slots
+from repro.geometry.point import PointSet
+from repro.power.oblivious import LinearPower, UniformPower
+from repro.scheduling.baselines import greedy_sinr_schedule, trivial_tdma_schedule
+from repro.scheduling.builder import PowerMode, ScheduleBuilder
+from repro.sinr.model import SINRModel
+from repro.spanning.tree import AggregationTree
+
+__all__ = ["CapacityComparison", "ModeOutcome", "compare_power_modes"]
+
+
+@dataclass(frozen=True)
+class ModeOutcome:
+    """Schedule length and rate achieved by one scheduling strategy."""
+
+    strategy: str
+    slots: int
+    predicted: float
+
+    @property
+    def rate(self) -> float:
+        return 1.0 / self.slots
+
+
+@dataclass
+class CapacityComparison:
+    """Outcomes for every strategy on one instance."""
+
+    n: int
+    diversity: float
+    outcomes: List[ModeOutcome] = field(default_factory=list)
+
+    def by_strategy(self) -> Dict[str, ModeOutcome]:
+        return {o.strategy: o for o in self.outcomes}
+
+    def table(self) -> str:
+        """Fixed-width text table (benchmarks print this)."""
+        header = f"{'strategy':<24}{'slots':>8}{'rate':>12}{'predicted':>12}"
+        rows = [header, "-" * len(header)]
+        for o in self.outcomes:
+            rows.append(
+                f"{o.strategy:<24}{o.slots:>8}{o.rate:>12.4f}{o.predicted:>12.2f}"
+            )
+        return "\n".join(rows)
+
+
+def compare_power_modes(
+    points: PointSet,
+    *,
+    sink: int = 0,
+    model: Optional[SINRModel] = None,
+    include_baselines: bool = True,
+) -> CapacityComparison:
+    """Schedule the MST of ``points`` under every power regime.
+
+    Strategies: ``global`` and ``oblivious`` (the paper's pipeline),
+    plus ``uniform-greedy`` (first-fit SINR packing with ``P_0``),
+    ``linear-greedy`` (with ``P_1``) and ``tdma`` (one link per slot)
+    baselines.
+    """
+    model = model or SINRModel()
+    tree = AggregationTree.mst(points, sink=sink)
+    links = tree.links()
+    comparison = CapacityComparison(n=len(points), diversity=links.diversity)
+
+    for mode in (PowerMode.GLOBAL, PowerMode.OBLIVIOUS):
+        builder = ScheduleBuilder(model, mode)
+        schedule, _report = builder.build_with_report(links)
+        comparison.outcomes.append(
+            ModeOutcome(
+                strategy=mode.value,
+                slots=schedule.num_slots,
+                predicted=predicted_slots(mode, links.diversity, len(points)),
+            )
+        )
+
+    if include_baselines:
+        uniform = greedy_sinr_schedule(links, UniformPower(model.alpha), model)
+        comparison.outcomes.append(
+            ModeOutcome(
+                strategy="uniform-greedy",
+                slots=uniform.num_slots,
+                predicted=predicted_slots(PowerMode.UNIFORM, links.diversity, len(points)),
+            )
+        )
+        linear = greedy_sinr_schedule(links, LinearPower(model.alpha), model)
+        comparison.outcomes.append(
+            ModeOutcome(
+                strategy="linear-greedy",
+                slots=linear.num_slots,
+                predicted=predicted_slots(PowerMode.LINEAR, links.diversity, len(points)),
+            )
+        )
+        tdma = trivial_tdma_schedule(links, model)
+        comparison.outcomes.append(
+            ModeOutcome(strategy="tdma", slots=tdma.num_slots, predicted=float(len(links)))
+        )
+    return comparison

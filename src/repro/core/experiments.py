@@ -1,0 +1,179 @@
+"""Programmatic experiment registry.
+
+Each paper artefact can be regenerated without pytest:
+
+>>> from repro.core.experiments import run_experiment, list_experiments
+>>> print(run_experiment("FIG2"))           # doctest: +SKIP
+
+The registry mirrors the benchmark suite (DESIGN.md experiment index)
+at a slightly smaller default scale so any experiment finishes in
+seconds; the benches remain the canonical, asserted versions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.capacity import compare_power_modes
+from repro.core.theory import predicted_slots_global, predicted_slots_oblivious
+from repro.errors import ConfigurationError
+from repro.geometry.generators import exponential_line, uniform_square
+from repro.lowerbounds.logstar_instance import RecursiveLogStarInstance
+from repro.lowerbounds.mst_suboptimal import MstSuboptimalFamily
+from repro.lowerbounds.oblivious_chain import DoublyExponentialChain
+from repro.scheduling.builder import ScheduleBuilder
+from repro.sinr.model import SINRModel
+from repro.spanning.tree import AggregationTree
+
+__all__ = ["list_experiments", "run_experiment", "EXPERIMENTS"]
+
+
+def _fig1(model: SINRModel) -> str:
+    from repro.aggregation.simulator import AggregationSimulator
+    from repro.geometry.point import PointSet
+    from repro.scheduling.schedule import Schedule, Slot
+
+    points = PointSet(np.array([-2.0, -1.0, 0.0, 1.0, 2.0]))
+    tree = AggregationTree.mst(points, sink=2)
+    links = tree.links()
+
+    def link_of(sender: int) -> int:
+        return int(np.flatnonzero(links.sender_ids == sender)[0])
+
+    schedule = Schedule(
+        links,
+        [
+            Slot.from_arrays([link_of(0), link_of(3)], [1.0, 1.0]),
+            Slot.from_arrays([link_of(1), link_of(4)], [1.0, 1.0]),
+        ],
+        model,
+    )
+    result = AggregationSimulator(tree, schedule).run(20, rng=0)
+    return (
+        f"FIG1: slots={schedule.num_slots} rate={schedule.rate:.2f} "
+        f"latency={result.max_latency} (paper: 2 slots, rate 0.5, latency 3); "
+        f"values_ok={result.values_correct}"
+    )
+
+
+def _thm1(model: SINRModel) -> str:
+    lines = [f"{'n':>5}{'Delta':>10}{'global':>8}{'log*':>6}{'oblivious':>10}{'loglog':>8}"]
+    for n in (50, 150, 450):
+        links = AggregationTree.mst(uniform_square(n, rng=3)).links()
+        g = ScheduleBuilder(model, "global").build(links).num_slots
+        o = ScheduleBuilder(model, "oblivious").build(links).num_slots
+        lines.append(
+            f"{n:>5}{links.diversity:>10.3g}{g:>8}"
+            f"{predicted_slots_global(links.diversity):>6.0f}{o:>10}"
+            f"{predicted_slots_oblivious(links.diversity):>8.1f}"
+        )
+    return "\n".join(["THM1: MST schedule length vs n"] + lines)
+
+
+def _thm2(model: SINRModel) -> str:
+    from repro.coloring.greedy import greedy_coloring
+    from repro.coloring.refinement import refine_by_interference
+    from repro.conflict.graph import g1_graph
+
+    lines = [f"{'n':>5}{'chi(G1)':>9}{'refine t':>10}"]
+    for n in (50, 200, 500):
+        links = AggregationTree.mst(uniform_square(n, rng=5)).links()
+        chi = int(greedy_coloring(g1_graph(links)).max()) + 1
+        t = len(refine_by_interference(links, model.alpha))
+        lines.append(f"{n:>5}{chi:>9}{t:>10}")
+    return "\n".join(["THM2: chi(G1(MST)) is constant"] + lines)
+
+
+def _fig2(model: SINRModel) -> str:
+    lines = []
+    for tau in (0.25, 0.5, 0.75):
+        chain = DoublyExponentialChain(7, tau, model=model)
+        verdict = chain.verify_pairwise_infeasible()
+        lines.append(
+            f"tau={tau}: {verdict.pairs_checked} pairs, "
+            f"feasible={verdict.feasible_pairs} -> rate 1/{chain.n - 1}"
+        )
+    return "\n".join(["FIG2: doubly-exponential chain (Prop. 1)"] + lines)
+
+
+def _fig3(model: SINRModel) -> str:
+    lines = []
+    for t in (2, 3):
+        inst = RecursiveLogStarInstance(t, model=model, max_copies=8)
+        report = inst.verify_claim_one()
+        cap = " (capped)" if report.capped else ""
+        lines.append(
+            f"R_{t}: n={len(inst.positions)} Delta={inst.diversity:.3g} "
+            f"claim1={report.max_copies_with_long_link}/{report.true_copy_count}{cap} "
+            f"rate<= {inst.predicted_rate_bound():.2f}"
+        )
+    return "\n".join(["FIG3: recursive R_t (Thm. 4)"] + lines)
+
+
+def _fig4(model: SINRModel) -> str:
+    lines = []
+    for tau in (0.3, 0.4):
+        fam = MstSuboptimalFamily(tau, levels=3, model=model)
+        rep = fam.verify()
+        lines.append(
+            f"tau={tau}: gamma={fam.claim_two_gamma():+.4f} custom={rep.custom_tree_slots} "
+            f"MST>={rep.mst_slots_lower_bound} holds={rep.holds}"
+        )
+    return "\n".join(["FIG4: MST sub-optimality (Prop. 3)"] + lines)
+
+
+def _base(model: SINRModel) -> str:
+    lines = []
+    for n in (10, 16):
+        comparison = compare_power_modes(exponential_line(n), model=model)
+        by = comparison.by_strategy()
+        lines.append(
+            f"chain n={n}: global={by['global'].slots} "
+            f"oblivious={by['oblivious'].slots} uniform={by['uniform-greedy'].slots} "
+            f"tdma={by['tdma'].slots}"
+        )
+    return "\n".join(["BASE: the power-control gap"] + lines)
+
+
+def _opt(model: SINRModel) -> str:
+    from repro.scheduling.exact import minimum_schedule_length
+    from repro.scheduling.fractional import optimal_fractional_rate
+
+    links = AggregationTree.mst(uniform_square(9, rng=7)).links()
+    exact = minimum_schedule_length(links, model)
+    greedy = ScheduleBuilder(model, "global").build(links).num_slots
+    frac = optimal_fractional_rate(links, model)
+    return (
+        "OPT: optimality gaps\n"
+        f"exact={exact} greedy={greedy} (ratio {greedy / exact:.2f}); "
+        f"fractional rate={frac.rate:.3f} (>= 1/exact = {1 / exact:.3f})"
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[SINRModel], str]] = {
+    "FIG1": _fig1,
+    "THM1": _thm1,
+    "THM2": _thm2,
+    "FIG2": _fig2,
+    "FIG3": _fig3,
+    "FIG4": _fig4,
+    "BASE": _base,
+    "OPT": _opt,
+}
+
+
+def list_experiments() -> List[str]:
+    """Registered experiment ids."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(exp_id: str, model: Optional[SINRModel] = None) -> str:
+    """Run one experiment and return its printable report."""
+    key = exp_id.upper()
+    if key not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {exp_id!r}; available: {', '.join(list_experiments())}"
+        )
+    return EXPERIMENTS[key](model or SINRModel())

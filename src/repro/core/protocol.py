@@ -1,0 +1,116 @@
+"""The :class:`AggregationProtocol` — the paper's result as one object.
+
+Wraps the whole pipeline (MST tree, conflict graph, greedy coloring,
+repair, certification, simulation) behind a two-call API::
+
+    protocol = AggregationProtocol(mode="global")
+    result = protocol.build(points, sink=0)
+    print(result.summary())
+
+and augments the result with the predicted bound so every run is a
+self-contained paper-vs-measured data point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.aggregation.convergecast import ConvergecastResult, run_convergecast
+from repro.aggregation.functions import SUM, AggregationFunction
+from repro.core.theory import predicted_slots
+from repro.geometry.point import PointSet
+from repro.scheduling.builder import PowerMode, ScheduleBuilder
+from repro.sinr.model import SINRModel
+from repro.util.rng import RngLike
+
+__all__ = ["AggregationProtocol", "ProtocolResult"]
+
+
+@dataclass
+class ProtocolResult:
+    """A convergecast result annotated with the theoretical prediction."""
+
+    convergecast: ConvergecastResult
+    predicted_slots: float
+
+    @property
+    def measured_slots(self) -> int:
+        return self.convergecast.num_slots
+
+    @property
+    def rate(self) -> float:
+        return self.convergecast.rate
+
+    @property
+    def slots_vs_prediction(self) -> float:
+        """Measured / predicted slot ratio (the "constant" of the big-O)."""
+        return self.measured_slots / self.predicted_slots
+
+    def summary(self) -> str:
+        return (
+            self.convergecast.summary()
+            + f"\npredicted slots ~ {self.predicted_slots:.2f} "
+            f"(measured/predicted = {self.slots_vs_prediction:.2f})"
+        )
+
+
+class AggregationProtocol:
+    """Configured entry point for building aggregation schedules.
+
+    Parameters
+    ----------
+    mode:
+        Power-control mode (default: global power control, the
+        ``O(log* Delta)`` result).
+    model:
+        SINR parameters.
+    gamma, delta, tau:
+        Conflict-graph and power-scheme constants forwarded to the
+        :class:`ScheduleBuilder`.
+    """
+
+    def __init__(
+        self,
+        mode: PowerMode | str = PowerMode.GLOBAL,
+        *,
+        model: Optional[SINRModel] = None,
+        gamma: Optional[float] = None,
+        delta: Optional[float] = None,
+        tau: Optional[float] = None,
+    ) -> None:
+        self.model = model or SINRModel()
+        self.mode = PowerMode(mode)
+        kwargs = {}
+        if gamma is not None:
+            kwargs["gamma"] = gamma
+        if delta is not None:
+            kwargs["delta"] = delta
+        if tau is not None:
+            kwargs["tau"] = tau
+        self.builder = ScheduleBuilder(self.model, self.mode, **kwargs)
+
+    def build(
+        self,
+        points: PointSet,
+        *,
+        sink: int = 0,
+        function: AggregationFunction = SUM,
+        num_frames: int = 0,
+        rng: RngLike = 0,
+    ) -> ProtocolResult:
+        """Build (and optionally simulate) aggregation over ``points``."""
+        convergecast = run_convergecast(
+            points,
+            sink=sink,
+            model=self.model,
+            function=function,
+            num_frames=num_frames,
+            rng=rng,
+            builder=self.builder,
+        )
+        prediction = predicted_slots(self.mode, convergecast.report.diversity, len(points))
+        return ProtocolResult(convergecast=convergecast, predicted_slots=prediction)
+
+    def __repr__(self) -> str:
+        return f"AggregationProtocol(mode={self.mode.value}, model={self.model})"

@@ -1,0 +1,50 @@
+"""Closed-form bound predictors.
+
+Benchmarks compare measured schedule lengths against these functional
+forms (with unit constants): the reproduction target is the *shape* —
+near-constant ``log* Delta`` for global power, ``log log Delta`` for
+oblivious power, against ``log n`` (random, uniform power) and ``n``
+(adversarial, no power control) baselines.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.builder import PowerMode
+from repro.util.mathx import log_star, loglog, safe_log2
+
+__all__ = [
+    "predicted_slots_global",
+    "predicted_slots_oblivious",
+    "predicted_slots_uniform_random",
+    "predicted_slots",
+]
+
+
+def predicted_slots_global(diversity: float) -> float:
+    """Theorem 1, global power: ``O(log* Delta)`` slots (unit constant,
+    clamped at 1)."""
+    return max(1.0, float(log_star(diversity)))
+
+
+def predicted_slots_oblivious(diversity: float) -> float:
+    """Theorem 1, oblivious power: ``O(log log Delta)`` slots (unit
+    constant, clamped at 1)."""
+    return max(1.0, loglog(diversity))
+
+
+def predicted_slots_uniform_random(n: int) -> float:
+    """The pre-existing bound for random networks without power control:
+    ``Theta(log n)`` slots (Related Work)."""
+    return max(1.0, safe_log2(max(n, 2)))
+
+
+def predicted_slots(mode: PowerMode | str, diversity: float, n: int) -> float:
+    """Dispatch on power mode."""
+    mode = PowerMode(mode)
+    if mode is PowerMode.GLOBAL:
+        return predicted_slots_global(diversity)
+    if mode is PowerMode.OBLIVIOUS:
+        return predicted_slots_oblivious(diversity)
+    # Uniform / linear power carry no near-constant guarantee; the
+    # honest prediction is the random-network logarithmic form.
+    return predicted_slots_uniform_random(n)

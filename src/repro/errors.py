@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError`, so callers
+can catch one type to handle any failure originating inside the library
+while letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Invalid pointset or geometric configuration.
+
+    Raised for duplicate points, empty pointsets, dimension mismatches,
+    or coordinates that are not finite.
+    """
+
+
+class LinkError(ReproError):
+    """Invalid link or link-set configuration (e.g. zero-length link)."""
+
+
+class InfeasibleError(ReproError):
+    """A set of links cannot be made feasible under the requested model.
+
+    This signals a genuine physical impossibility (e.g. requesting a
+    power assignment for a set whose affectance spectral radius is at
+    least one), not a bug.
+    """
+
+
+class ScheduleError(ReproError):
+    """A schedule violates its contract (non-feasible slot, missing link,
+    or a coloring that is not proper for its conflict graph)."""
+
+
+class SimulationError(ReproError):
+    """The aggregation simulator detected an inconsistent state, such as
+    a frame aggregated at the sink with missing contributions."""
+
+
+class ConstructionError(ReproError):
+    """A lower-bound instance cannot be built with the given parameters
+    (e.g. coordinates would overflow IEEE doubles; see DESIGN.md S1)."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid model or protocol configuration parameters."""

@@ -1,0 +1,36 @@
+"""Pointsets, metrics, distances and instance generators."""
+
+from repro.geometry.distances import pairwise_distances
+from repro.geometry.diversity import length_diversity, min_max_distances
+from repro.geometry.generators import (
+    cluster_points,
+    exponential_line,
+    grid_points,
+    line_points,
+    poisson_points,
+    uniform_disk,
+    uniform_square,
+)
+from repro.geometry.metric import (
+    doubling_constant,
+    doubling_dimension,
+    shadowed_distance_matrix,
+)
+from repro.geometry.point import PointSet
+
+__all__ = [
+    "doubling_constant",
+    "doubling_dimension",
+    "shadowed_distance_matrix",
+    "PointSet",
+    "cluster_points",
+    "exponential_line",
+    "grid_points",
+    "length_diversity",
+    "line_points",
+    "min_max_distances",
+    "pairwise_distances",
+    "poisson_points",
+    "uniform_disk",
+    "uniform_square",
+]

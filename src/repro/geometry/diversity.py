@@ -1,0 +1,46 @@
+"""Length diversity ``Delta``.
+
+The paper's bounds are parameterised by the *length diversity*: the
+ratio between the largest and smallest distances (between nodes, or
+between link lengths, depending on context).  Both variants live here.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.point import PointSet
+
+__all__ = ["length_diversity", "min_max_distances", "link_length_diversity"]
+
+
+def min_max_distances(points: PointSet) -> Tuple[float, float]:
+    """``(min, max)`` pairwise node distance of a pointset."""
+    if len(points) < 2:
+        raise GeometryError("diversity needs at least two points")
+    dm = points.distance_matrix().copy()
+    np.fill_diagonal(dm, np.inf)
+    dmin = float(dm.min())
+    np.fill_diagonal(dm, 0.0)
+    dmax = float(dm.max())
+    return dmin, dmax
+
+
+def length_diversity(points: PointSet) -> float:
+    """Node-distance diversity ``Delta = d_max / d_min`` of a pointset."""
+    dmin, dmax = min_max_distances(points)
+    return dmax / dmin
+
+
+def link_length_diversity(lengths: np.ndarray) -> float:
+    """Link-length diversity ``Delta(L) = l_max / l_min`` of a link set."""
+    lengths = np.asarray(lengths, dtype=float)
+    if lengths.size == 0:
+        raise GeometryError("diversity needs at least one link")
+    lmin = float(lengths.min())
+    if lmin <= 0:
+        raise GeometryError("link lengths must be positive")
+    return float(lengths.max()) / lmin

@@ -1,0 +1,173 @@
+"""Instance generators.
+
+Covers the deployments the paper discusses: uniformly random squares and
+disks (Corollary 1), regular grids (constant-rate folklore, [1]),
+line instances (Sections 4-5), exponentially spaced chains (the
+classical worst case for uniform power), and clustered deployments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GeometryError
+from repro.geometry.point import PointSet
+from repro.util.rng import RngLike, as_generator
+
+__all__ = [
+    "cluster_points",
+    "exponential_line",
+    "grid_points",
+    "line_points",
+    "poisson_points",
+    "uniform_disk",
+    "uniform_square",
+]
+
+#: Retry budget for rejection-sampling distinct points.
+_MAX_ATTEMPTS = 64
+
+
+def _require_count(n: int, minimum: int = 1) -> int:
+    if n < minimum:
+        raise ConfigurationError(f"need at least {minimum} points, got {n}")
+    return int(n)
+
+
+def _distinct_or_retry(sample, n: int) -> PointSet:
+    """Call ``sample(k)`` until ``n`` pairwise-distinct points emerge.
+
+    Continuous distributions collide with probability zero, so the retry
+    loop exists only to convert an astronomically unlikely event into a
+    clean error instead of an invalid PointSet.
+    """
+    for _ in range(_MAX_ATTEMPTS):
+        coords = sample(n)
+        try:
+            return PointSet(coords)
+        except GeometryError:
+            continue
+    raise GeometryError("failed to sample distinct points (degenerate distribution?)")
+
+
+def uniform_square(n: int, side: float = 1.0, *, rng: RngLike = None) -> PointSet:
+    """``n`` points uniform in an axis-aligned square of the given side."""
+    _require_count(n)
+    if side <= 0:
+        raise ConfigurationError(f"side must be positive, got {side}")
+    gen = as_generator(rng)
+    return _distinct_or_retry(lambda k: gen.uniform(0.0, side, size=(k, 2)), n)
+
+
+def uniform_disk(n: int, radius: float = 1.0, *, rng: RngLike = None) -> PointSet:
+    """``n`` points uniform in a disk of the given radius."""
+    _require_count(n)
+    if radius <= 0:
+        raise ConfigurationError(f"radius must be positive, got {radius}")
+    gen = as_generator(rng)
+
+    def sample(k: int) -> np.ndarray:
+        # Inverse-CDF sampling: radius ~ sqrt(U) for area uniformity.
+        r = radius * np.sqrt(gen.uniform(0.0, 1.0, size=k))
+        theta = gen.uniform(0.0, 2.0 * math.pi, size=k)
+        return np.column_stack([r * np.cos(theta), r * np.sin(theta)])
+
+    return _distinct_or_retry(sample, n)
+
+
+def grid_points(rows: int, cols: int, spacing: float = 1.0) -> PointSet:
+    """A regular ``rows x cols`` grid with the given spacing."""
+    _require_count(rows)
+    _require_count(cols)
+    if spacing <= 0:
+        raise ConfigurationError(f"spacing must be positive, got {spacing}")
+    ys, xs = np.mgrid[0:rows, 0:cols]
+    coords = np.column_stack([xs.ravel() * spacing, ys.ravel() * spacing])
+    return PointSet(coords, check=False)
+
+
+def line_points(positions, *, sort: bool = True) -> PointSet:
+    """A 1-D instance from explicit coordinates on the real line."""
+    arr = np.asarray(positions, dtype=float).reshape(-1)
+    if arr.size == 0:
+        raise ConfigurationError("need at least one position")
+    if sort:
+        arr = np.sort(arr)
+    return PointSet(arr)
+
+
+def exponential_line(n: int, base: float = 2.0, start: float = 1.0) -> PointSet:
+    """Chain on the line with exponentially growing gaps.
+
+    Gap ``t`` (between points ``t`` and ``t+1``) is ``start * base**t``.
+    This is the classical instance on which uniform power needs
+    ``Omega(n)`` slots, motivating power control (Section 1).
+    """
+    _require_count(n, 2)
+    if base <= 1:
+        raise ConfigurationError(f"base must exceed 1, got {base}")
+    if start <= 0:
+        raise ConfigurationError(f"start must be positive, got {start}")
+    with np.errstate(over="ignore"):
+        # Overflow becomes inf and is rejected by the finiteness check.
+        gaps = start * np.power(base, np.arange(n - 1, dtype=float))
+        positions = np.concatenate([[0.0], np.cumsum(gaps)])
+    if not np.all(np.isfinite(positions)):
+        raise ConfigurationError("exponential_line overflow: reduce n or base")
+    return PointSet(positions)
+
+
+def poisson_points(
+    intensity: float, side: float = 1.0, *, rng: RngLike = None, min_points: int = 2
+) -> PointSet:
+    """A Poisson point process of the given intensity on a square.
+
+    The realised count is Poisson(intensity * side^2), re-sampled until
+    it reaches ``min_points`` so downstream code always has a usable
+    instance.
+    """
+    if intensity <= 0:
+        raise ConfigurationError(f"intensity must be positive, got {intensity}")
+    if side <= 0:
+        raise ConfigurationError(f"side must be positive, got {side}")
+    gen = as_generator(rng)
+    for _ in range(_MAX_ATTEMPTS):
+        count = int(gen.poisson(intensity * side * side))
+        if count < min_points:
+            continue
+        try:
+            return PointSet(gen.uniform(0.0, side, size=(count, 2)))
+        except GeometryError:
+            continue
+    raise GeometryError("poisson_points failed to realise enough distinct points")
+
+
+def cluster_points(
+    clusters: int,
+    per_cluster: int,
+    *,
+    cluster_std: float = 0.01,
+    side: float = 1.0,
+    rng: RngLike = None,
+) -> PointSet:
+    """Gaussian clusters with uniformly random centres.
+
+    Clustered deployments stress length diversity: inter-cluster links
+    are much longer than intra-cluster ones, which is exactly the regime
+    where power control pays off.
+    """
+    _require_count(clusters)
+    _require_count(per_cluster)
+    if cluster_std <= 0 or side <= 0:
+        raise ConfigurationError("cluster_std and side must be positive")
+    gen = as_generator(rng)
+
+    def sample(_k: int) -> np.ndarray:
+        centres = gen.uniform(0.0, side, size=(clusters, 2))
+        offsets = gen.normal(0.0, cluster_std, size=(clusters, per_cluster, 2))
+        return (centres[:, None, :] + offsets).reshape(-1, 2)
+
+    return _distinct_or_retry(sample, clusters * per_cluster)

@@ -1,0 +1,88 @@
+"""Doubling-metric diagnostics (§3.1 "Pathloss assumptions").
+
+The paper's planarity assumption relaxes to metrics of bounded doubling
+dimension.  This module estimates the doubling constant of a pointset
+empirically (how many half-radius balls are needed to cover a ball) so
+experiments can verify their instances stay within the assumption, and
+so shadowing-perturbed instances can be sanity-checked.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.point import PointSet
+from repro.util.rng import RngLike, as_generator
+
+__all__ = ["doubling_constant", "doubling_dimension", "shadowed_distance_matrix"]
+
+
+def doubling_constant(
+    points: PointSet,
+    *,
+    samples: int = 32,
+    rng: RngLike = 0,
+) -> int:
+    """Empirical doubling constant: the maximum, over sampled balls
+    B(c, r), of the number of radius-r/2 balls (greedily centred on
+    points) needed to cover the pointset inside B(c, r).
+
+    For points in the plane this is at most a small constant (~7); for
+    pathological metrics it grows, flagging instances outside the
+    paper's assumptions.
+    """
+    n = len(points)
+    if n < 2:
+        return 1
+    gen = as_generator(rng)
+    dm = points.distance_matrix()
+    finite = dm[dm > 0]
+    worst = 1
+    for _ in range(samples):
+        centre = int(gen.integers(0, n))
+        radius = float(gen.choice(finite))
+        inside = np.flatnonzero(dm[centre] <= radius)
+        # Greedy half-radius cover of `inside`.
+        uncovered = set(int(i) for i in inside)
+        count = 0
+        while uncovered:
+            pick = next(iter(uncovered))
+            covered = {i for i in uncovered if dm[pick, i] <= radius / 2.0}
+            uncovered -= covered
+            count += 1
+        worst = max(worst, count)
+    return worst
+
+
+def doubling_dimension(points: PointSet, **kwargs) -> float:
+    """``log2`` of the doubling constant — the doubling dimension."""
+    return math.log2(max(1, doubling_constant(points, **kwargs)))
+
+
+def shadowed_distance_matrix(
+    points: PointSet,
+    sigma: float,
+    *,
+    rng: RngLike = 0,
+) -> np.ndarray:
+    """A lognormally shadowed "effective distance" matrix.
+
+    Models the paper's remark that shadowing effectively distorts the
+    metric: every distance is multiplied by a symmetric lognormal
+    factor.  The result remains a symmetric matrix with zero diagonal
+    (not necessarily a metric — that is the point of the diagnostic).
+    """
+    if sigma < 0:
+        raise GeometryError(f"sigma must be >= 0, got {sigma}")
+    gen = as_generator(rng)
+    dm = points.distance_matrix().copy()
+    n = len(points)
+    factors = gen.lognormal(0.0, sigma, size=(n, n))
+    factors = np.sqrt(factors * factors.T)  # symmetrise
+    dm = dm * factors
+    np.fill_diagonal(dm, 0.0)
+    return dm

@@ -1,0 +1,168 @@
+"""The :class:`PointSet` container.
+
+A pointset is the model of the sensor deployment (Section 2 of the
+paper): a finite set of distinct points in the Euclidean plane (or on
+the line).  It is numpy-backed and immutable; all derived quantities
+(distance matrix, diversity) are computed lazily and cached.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+__all__ = ["PointSet"]
+
+
+class PointSet:
+    """An immutable set of ``n`` distinct points in 1-D or 2-D space.
+
+    Parameters
+    ----------
+    coords:
+        Array-like of shape ``(n,)`` (line instances) or ``(n, d)`` with
+        ``d in {1, 2, 3}``.  One-dimensional input is normalised to
+        shape ``(n, 1)``.
+    check:
+        When true (default), validates finiteness and pairwise
+        distinctness.  Distinctness checking is ``O(n log n)``.
+
+    Examples
+    --------
+    >>> ps = PointSet([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]])
+    >>> len(ps)
+    3
+    >>> ps.dimension
+    2
+    """
+
+    __slots__ = ("_coords", "_dist_cache")
+
+    def __init__(self, coords: Sequence, *, check: bool = True) -> None:
+        arr = np.asarray(coords, dtype=float)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        if arr.ndim != 2:
+            raise GeometryError(f"coords must be (n,) or (n, d); got shape {arr.shape}")
+        if arr.shape[0] == 0:
+            raise GeometryError("a PointSet must contain at least one point")
+        if arr.shape[1] not in (1, 2, 3):
+            raise GeometryError(f"dimension must be 1, 2 or 3; got {arr.shape[1]}")
+        if check:
+            if not np.all(np.isfinite(arr)):
+                raise GeometryError("coordinates must be finite")
+            self._check_distinct(arr)
+        arr.setflags(write=False)
+        self._coords = arr
+        self._dist_cache: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _check_distinct(arr: np.ndarray) -> None:
+        # Lexicographic sort brings duplicates adjacent: O(n log n).
+        order = np.lexsort(arr.T[::-1])
+        sorted_arr = arr[order]
+        if len(arr) > 1 and np.any(np.all(sorted_arr[1:] == sorted_arr[:-1], axis=1)):
+            raise GeometryError("points must be pairwise distinct")
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._coords.shape[0]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._coords)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self._coords[index]
+
+    def __repr__(self) -> str:
+        return f"PointSet(n={len(self)}, dim={self.dimension})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PointSet):
+            return NotImplemented
+        return self._coords.shape == other._coords.shape and bool(
+            np.array_equal(self._coords, other._coords)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._coords.shape, self._coords.tobytes()))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def coords(self) -> np.ndarray:
+        """Read-only ``(n, d)`` coordinate array."""
+        return self._coords
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension (1, 2 or 3)."""
+        return self._coords.shape[1]
+
+    @property
+    def is_line_instance(self) -> bool:
+        """True when all points are collinear on a coordinate axis
+        (dimension 1, or dimension >= 2 with constant other coordinates)."""
+        if self.dimension == 1:
+            return True
+        rest = self._coords[:, 1:]
+        return bool(np.all(rest == rest[0]))
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def distance(self, i: int, j: int) -> float:
+        """Euclidean distance between points ``i`` and ``j``."""
+        return float(np.linalg.norm(self._coords[i] - self._coords[j]))
+
+    def distance_matrix(self) -> np.ndarray:
+        """Full ``(n, n)`` pairwise distance matrix (cached)."""
+        if self._dist_cache is None:
+            from repro.geometry.distances import pairwise_distances
+
+            dm = pairwise_distances(self._coords)
+            dm.setflags(write=False)
+            self._dist_cache = dm
+        return self._dist_cache
+
+    def diameter(self) -> float:
+        """Maximum pairwise distance."""
+        if len(self) == 1:
+            return 0.0
+        return float(self.distance_matrix().max())
+
+    def closest_pair_distance(self) -> float:
+        """Minimum pairwise distance (the paper's shortest node distance)."""
+        if len(self) == 1:
+            return 0.0
+        dm = self.distance_matrix().copy()
+        np.fill_diagonal(dm, np.inf)
+        return float(dm.min())
+
+    def translated(self, offset: Sequence[float]) -> "PointSet":
+        """A copy shifted by ``offset``."""
+        off = np.asarray(offset, dtype=float).reshape(1, -1)
+        if off.shape[1] != self.dimension:
+            raise GeometryError(
+                f"offset dimension {off.shape[1]} != pointset dimension {self.dimension}"
+            )
+        return PointSet(self._coords + off, check=False)
+
+    def scaled(self, factor: float) -> "PointSet":
+        """A copy scaled about the origin by ``factor > 0``."""
+        if factor <= 0:
+            raise GeometryError(f"scale factor must be positive, got {factor}")
+        return PointSet(self._coords * factor, check=False)
+
+    @staticmethod
+    def concatenate(first: "PointSet", second: "PointSet", *, check: bool = True) -> "PointSet":
+        """Union of two pointsets (with distinctness re-checked)."""
+        if first.dimension != second.dimension:
+            raise GeometryError("cannot concatenate pointsets of different dimensions")
+        return PointSet(np.vstack([first.coords, second.coords]), check=check)

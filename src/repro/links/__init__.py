@@ -1,0 +1,7 @@
+"""Communication links and vectorised link-set geometry."""
+
+from repro.links.classes import length_class_index, length_classes
+from repro.links.link import Link
+from repro.links.linkset import LinkSet
+
+__all__ = ["Link", "LinkSet", "length_class_index", "length_classes"]

@@ -1,0 +1,49 @@
+"""Length classes ``L_t`` (Section 3.3).
+
+The distributed protocol partitions links into doubling length classes
+``L_t = { i : l_i in [2^(t-1) l_min, 2^t l_min) }`` and processes them
+longest-class first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.links.linkset import LinkSet
+
+__all__ = ["length_class_index", "length_classes"]
+
+
+def length_class_index(lengths: np.ndarray, lmin: float | None = None) -> np.ndarray:
+    """Class index ``t >= 1`` of every link: ``l in [2^(t-1), 2^t) * lmin``.
+
+    ``lmin`` defaults to the minimum length present; a common lower
+    bound (up to constants) works too, as the paper notes.
+    """
+    lengths = np.asarray(lengths, dtype=float)
+    if lmin is None:
+        lmin = float(lengths.min())
+    if lmin <= 0:
+        raise ValueError(f"lmin must be positive, got {lmin}")
+    ratio = lengths / lmin
+    # floor(log2(ratio)) + 1, with the shortest links in class 1.
+    idx = np.floor(np.log2(np.maximum(ratio, 1.0))).astype(int) + 1
+    # Guard against float round-off placing l == 2^k * lmin one class low.
+    too_low = lengths >= lmin * np.exp2(idx)
+    idx[too_low] += 1
+    return idx
+
+
+def length_classes(links: LinkSet, lmin: float | None = None) -> Dict[int, List[int]]:
+    """Partition link indices into length classes, keyed by class ``t``.
+
+    Only non-empty classes are returned.  The number of classes is at
+    most ``ceil(log2 Delta) + 1``.
+    """
+    idx = length_class_index(links.lengths, lmin)
+    classes: Dict[int, List[int]] = {}
+    for link_index, t in enumerate(idx):
+        classes.setdefault(int(t), []).append(link_index)
+    return classes

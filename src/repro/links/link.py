@@ -1,0 +1,60 @@
+"""A single directed communication link (Section 2 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import LinkError
+
+__all__ = ["Link"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A communication request from a sender node to a receiver node.
+
+    Attributes
+    ----------
+    sender:
+        Coordinates of the transmitting node ``s_i``.
+    receiver:
+        Coordinates of the receiving node ``r_i``.
+    sender_id / receiver_id:
+        Optional indices into an underlying :class:`~repro.geometry.PointSet`
+        (``-1`` when the link is free-standing).
+    """
+
+    sender: Tuple[float, ...]
+    receiver: Tuple[float, ...]
+    sender_id: int = -1
+    receiver_id: int = -1
+
+    def __post_init__(self) -> None:
+        if len(self.sender) != len(self.receiver):
+            raise LinkError("sender and receiver must share a dimension")
+        if self.sender == self.receiver:
+            raise LinkError("zero-length link: sender equals receiver")
+
+    @staticmethod
+    def from_arrays(sender, receiver, sender_id: int = -1, receiver_id: int = -1) -> "Link":
+        """Build a link from array-likes (coordinates are copied)."""
+        s = tuple(float(x) for x in np.atleast_1d(sender))
+        r = tuple(float(x) for x in np.atleast_1d(receiver))
+        return Link(s, r, sender_id, receiver_id)
+
+    @property
+    def length(self) -> float:
+        """Euclidean link length ``l_i = d(s_i, r_i)``."""
+        return float(
+            np.linalg.norm(np.asarray(self.sender, dtype=float) - np.asarray(self.receiver))
+        )
+
+    def reversed(self) -> "Link":
+        """The same edge directed the other way."""
+        return Link(self.receiver, self.sender, self.receiver_id, self.sender_id)
+
+    def __repr__(self) -> str:
+        return f"Link({self.sender} -> {self.receiver}, l={self.length:.4g})"

@@ -1,0 +1,249 @@
+"""The :class:`LinkSet`: vectorised geometry for a collection of links.
+
+All scheduling and feasibility machinery operates on link sets.  The
+class pre-computes, lazily and cached:
+
+* ``lengths``   — link lengths ``l_i``;
+* ``sr_dist``   — the sender-to-receiver matrix ``d_ji = d(s_j, r_i)``
+  (interference travels from sender ``j`` to receiver ``i``);
+* ``gap``       — the link-to-link distance ``d(i, j)``: the minimum
+  distance between *nodes* of the two links (over the four endpoint
+  pairs), as defined in Section 2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import LinkError
+from repro.geometry.distances import cross_distances
+from repro.links.link import Link
+
+__all__ = ["LinkSet"]
+
+
+class LinkSet:
+    """An ordered, immutable collection of directed links.
+
+    Parameters
+    ----------
+    senders, receivers:
+        ``(n, d)`` coordinate arrays (rows correspond per index).
+    sender_ids, receiver_ids:
+        Optional node indices into an originating pointset.
+    """
+
+    __slots__ = (
+        "_senders",
+        "_receivers",
+        "_sender_ids",
+        "_receiver_ids",
+        "_lengths",
+        "_sr_cache",
+        "_gap_cache",
+    )
+
+    def __init__(
+        self,
+        senders,
+        receivers,
+        *,
+        sender_ids: Optional[Sequence[int]] = None,
+        receiver_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        s = np.atleast_2d(np.asarray(senders, dtype=float))
+        r = np.atleast_2d(np.asarray(receivers, dtype=float))
+        if s.shape != r.shape:
+            raise LinkError(f"senders {s.shape} and receivers {r.shape} must match")
+        if s.shape[0] == 0:
+            raise LinkError("a LinkSet must contain at least one link")
+        if s.shape[1] == 1:
+            # Overflow-safe 1-D path: norm squares coordinates, which
+            # overflows on the ~1e154-scale adversarial line instances.
+            lengths = np.abs(s[:, 0] - r[:, 0])
+        else:
+            lengths = np.linalg.norm(s - r, axis=1)
+        if np.any(lengths <= 0):
+            raise LinkError("all links must have positive length")
+        if not (np.all(np.isfinite(s)) and np.all(np.isfinite(r))):
+            raise LinkError("link coordinates must be finite")
+        self._senders = s
+        self._receivers = r
+        self._lengths = lengths
+        n = s.shape[0]
+        self._sender_ids = (
+            np.full(n, -1, dtype=int)
+            if sender_ids is None
+            else np.asarray(sender_ids, dtype=int)
+        )
+        self._receiver_ids = (
+            np.full(n, -1, dtype=int)
+            if receiver_ids is None
+            else np.asarray(receiver_ids, dtype=int)
+        )
+        if self._sender_ids.shape != (n,) or self._receiver_ids.shape != (n,):
+            raise LinkError("sender_ids / receiver_ids must have one entry per link")
+        for arr in (self._senders, self._receivers, self._lengths):
+            arr.setflags(write=False)
+        self._sr_cache: Optional[np.ndarray] = None
+        self._gap_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_links(links: Sequence[Link]) -> "LinkSet":
+        """Build a LinkSet from :class:`Link` objects."""
+        if not links:
+            raise LinkError("need at least one link")
+        senders = np.array([l.sender for l in links], dtype=float)
+        receivers = np.array([l.receiver for l in links], dtype=float)
+        return LinkSet(
+            senders,
+            receivers,
+            sender_ids=[l.sender_id for l in links],
+            receiver_ids=[l.receiver_id for l in links],
+        )
+
+    @staticmethod
+    def from_pointset_edges(points, edges: Sequence) -> "LinkSet":
+        """Build a LinkSet from ``(sender_index, receiver_index)`` pairs
+        over a :class:`~repro.geometry.PointSet`."""
+        edges = list(edges)
+        if not edges:
+            raise LinkError("need at least one edge")
+        sid = np.array([e[0] for e in edges], dtype=int)
+        rid = np.array([e[1] for e in edges], dtype=int)
+        coords = points.coords
+        return LinkSet(coords[sid], coords[rid], sender_ids=sid, receiver_ids=rid)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._senders.shape[0]
+
+    def __iter__(self) -> Iterator[Link]:
+        for i in range(len(self)):
+            yield self.link(i)
+
+    def __repr__(self) -> str:
+        return f"LinkSet(n={len(self)}, dim={self.dimension})"
+
+    def link(self, i: int) -> Link:
+        """Materialise link ``i`` as a :class:`Link` object."""
+        return Link(
+            tuple(self._senders[i]),
+            tuple(self._receivers[i]),
+            int(self._sender_ids[i]),
+            int(self._receiver_ids[i]),
+        )
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def senders(self) -> np.ndarray:
+        """``(n, d)`` sender coordinates."""
+        return self._senders
+
+    @property
+    def receivers(self) -> np.ndarray:
+        """``(n, d)`` receiver coordinates."""
+        return self._receivers
+
+    @property
+    def sender_ids(self) -> np.ndarray:
+        """Node indices of senders (or ``-1``)."""
+        return self._sender_ids
+
+    @property
+    def receiver_ids(self) -> np.ndarray:
+        """Node indices of receivers (or ``-1``)."""
+        return self._receiver_ids
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Link lengths ``l_i``."""
+        return self._lengths
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension."""
+        return self._senders.shape[1]
+
+    @property
+    def diversity(self) -> float:
+        """Link-length diversity ``Delta(L) = l_max / l_min``."""
+        return float(self._lengths.max() / self._lengths.min())
+
+    # ------------------------------------------------------------------
+    # Distance structure
+    # ------------------------------------------------------------------
+    def sender_receiver_distances(self) -> np.ndarray:
+        """Matrix ``D`` with ``D[j, i] = d(s_j, r_i)``.
+
+        ``D[i, i]`` is the link length ``l_i``.  Interference from link
+        ``j`` on link ``i`` decays with ``D[j, i]``.
+        """
+        if self._sr_cache is None:
+            dm = cross_distances(self._senders, self._receivers)
+            dm.setflags(write=False)
+            self._sr_cache = dm
+        return self._sr_cache
+
+    def link_distances(self) -> np.ndarray:
+        """Symmetric matrix of ``d(i, j)``: minimum node-to-node distance
+        between links ``i`` and ``j`` (0 on the diagonal and whenever the
+        links share an endpoint)."""
+        if self._gap_cache is None:
+            ss = cross_distances(self._senders, self._senders)
+            rr = cross_distances(self._receivers, self._receivers)
+            sr = cross_distances(self._senders, self._receivers)
+            gap = np.minimum(np.minimum(ss, rr), np.minimum(sr, sr.T))
+            np.fill_diagonal(gap, 0.0)
+            gap.setflags(write=False)
+            self._gap_cache = gap
+        return self._gap_cache
+
+    # ------------------------------------------------------------------
+    # Subsetting
+    # ------------------------------------------------------------------
+    def subset(self, indices) -> "LinkSet":
+        """A new LinkSet containing the given link indices (in order)."""
+        idx = np.asarray(indices, dtype=int)
+        if idx.size == 0:
+            raise LinkError("subset must contain at least one link")
+        return LinkSet(
+            self._senders[idx],
+            self._receivers[idx],
+            sender_ids=self._sender_ids[idx],
+            receiver_ids=self._receiver_ids[idx],
+        )
+
+    def longer_than(self, i: int, *, strict: bool = False) -> np.ndarray:
+        """Indices of ``S+_i``: links at least as long as link ``i``
+        (excluding ``i`` itself)."""
+        li = self._lengths[i]
+        mask = self._lengths > li if strict else self._lengths >= li
+        mask[i] = False
+        return np.flatnonzero(mask)
+
+    def shorter_than(self, i: int, *, strict: bool = False) -> np.ndarray:
+        """Indices of ``S-_i``: links at most as long as link ``i``
+        (excluding ``i`` itself)."""
+        li = self._lengths[i]
+        mask = self._lengths < li if strict else self._lengths <= li
+        mask[i] = False
+        return np.flatnonzero(mask)
+
+    def reversed(self) -> "LinkSet":
+        """All links re-directed the opposite way."""
+        return LinkSet(
+            self._receivers,
+            self._senders,
+            sender_ids=self._receiver_ids,
+            receiver_ids=self._sender_ids,
+        )

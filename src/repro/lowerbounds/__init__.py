@@ -1,0 +1,19 @@
+"""The paper's impossibility constructions (Sections 4 and 5)."""
+
+from repro.lowerbounds.logstar_instance import RecursiveLogStarInstance
+from repro.lowerbounds.mst_suboptimal import MstSuboptimalFamily
+from repro.lowerbounds.oblivious_chain import DoublyExponentialChain
+from repro.lowerbounds.verify import (
+    feasible_pairs_under_power,
+    max_feasible_set_size,
+    pairwise_infeasibility_report,
+)
+
+__all__ = [
+    "DoublyExponentialChain",
+    "MstSuboptimalFamily",
+    "RecursiveLogStarInstance",
+    "feasible_pairs_under_power",
+    "max_feasible_set_size",
+    "pairwise_infeasibility_report",
+]

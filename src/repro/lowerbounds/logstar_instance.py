@@ -1,0 +1,253 @@
+"""Section 4.2: the recursive ``R_t`` construction (Fig. 3, Theorem 4).
+
+``R_1`` is two nodes at distance 1.  ``R_{t+1}`` concatenates
+``k_{t+1} = c / rho(R_t)`` scaled copies of ``R_t`` (copy ``s`` scaled so
+its longest link equals the diameter of the previous copies combined)
+and prepends a long link ``G`` spanning the whole thing.  The MST of
+``R_t`` cannot be aggregated at rate better than ``2/(t+1)`` under any
+power control, and ``t = Omega(log* Delta)``.
+
+The true copy counts explode immediately (``k_3`` is already in the
+millions), so the class supports a ``max_copies`` cap (Substitution S2
+in DESIGN.md): the *mechanism* of the proof — Claim 1: a feasible set
+containing the long link touches at most half the copies — is verified
+with the exact power-control oracle on the capped instance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import MAX_SAFE_COORDINATE
+from repro.errors import ConfigurationError, ConstructionError
+from repro.geometry.point import PointSet
+from repro.sinr.model import SINRModel
+from repro.sinr.powercontrol import is_feasible_some_power
+from repro.spanning.tree import AggregationTree
+from repro.links.linkset import LinkSet
+
+__all__ = ["RecursiveLogStarInstance", "ClaimOneReport"]
+
+
+@dataclass(frozen=True)
+class ClaimOneReport:
+    """Outcome of the Claim-1 mechanism check on a (possibly capped) ``R_t``.
+
+    Claim 1 states that a feasible set containing the long link touches
+    at most ``k_true / 2`` copies, where ``k_true = c / rho(R_{t-1})``
+    is the *uncapped* copy count.  On a capped instance (fewer copies
+    built than ``k_true``) the bound can hold trivially; ``capped``
+    records that so benchmarks report it honestly.
+    """
+
+    num_copies_built: int
+    true_copy_count: int
+    max_copies_with_long_link: int
+
+    @property
+    def capped(self) -> bool:
+        return self.num_copies_built < self.true_copy_count
+
+    @property
+    def holds(self) -> bool:
+        """Claim 1: at most half the (true-count) copies join the long link."""
+        return self.max_copies_with_long_link <= max(1, self.true_copy_count // 2)
+
+
+def _rho(positions: np.ndarray) -> float:
+    """``rho(R) = min_i (l_i / dhat_i)^alpha``-free part: returns the
+    minimum of ``l_i / dhat_i`` over MST links ``i`` (the ``alpha``-th
+    power is applied by callers); ``dhat_i`` is the larger endpoint
+    distance to the leftmost point."""
+    left = positions[0]
+    ratios = []
+    for a, b in zip(positions[:-1], positions[1:]):
+        length = b - a
+        dhat = max(a - left, b - left)
+        if dhat == 0:  # the leftmost link: dhat equals its own length
+            dhat = length
+        ratios.append(length / dhat)
+    return min(ratios)
+
+
+class RecursiveLogStarInstance:
+    """Builder for (capped) ``R_t`` instances.
+
+    Parameters
+    ----------
+    t:
+        Recursion depth (``t >= 1``).
+    c:
+        The proof's constant ``c`` (drives uncapped copy counts).
+    max_copies:
+        Cap on copies per level (Substitution S2); ``None`` builds the
+        true count and will overflow for ``t >= 3``.
+    model:
+        SINR parameters (``alpha`` enters ``rho``).
+    """
+
+    def __init__(
+        self,
+        t: int,
+        *,
+        c: float = 8.0,
+        max_copies: Optional[int] = 12,
+        model: Optional[SINRModel] = None,
+    ) -> None:
+        if t < 1:
+            raise ConfigurationError(f"t must be at least 1, got {t}")
+        if c <= 1:
+            raise ConfigurationError(f"c must exceed 1, got {c}")
+        self.t = int(t)
+        self.c = float(c)
+        self.max_copies = max_copies
+        self.model = model or SINRModel()
+        self._positions, self._copy_counts = self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> Tuple[np.ndarray, List[int]]:
+        positions = np.array([0.0, 1.0])
+        copy_counts: List[int] = []
+        for _level in range(2, self.t + 1):
+            positions, used = self._next_level(positions)
+            copy_counts.append(used)
+        return positions, copy_counts
+
+    def _true_copy_count(self, positions: np.ndarray) -> int:
+        ratio = _rho(positions) ** self.model.alpha
+        return max(2, int(math.ceil(self.c / ratio)))
+
+    def _next_level(self, prev: np.ndarray) -> Tuple[np.ndarray, int]:
+        k_true = self._true_copy_count(prev)
+        k = k_true if self.max_copies is None else min(k_true, self.max_copies)
+        prev_norm = prev - prev[0]  # copies are placed by offsets from 0
+        prev_max_gap = float(np.max(np.diff(prev_norm)))
+        # R' = concatenation of k scaled copies, consecutive copies
+        # sharing one node (the \oplus operation).
+        coords = prev_norm.copy()
+        for _s in range(1, k):
+            diam = coords[-1] - coords[0]
+            scale = diam / prev_max_gap  # longest link of the copy = diam so far
+            copy = prev_norm * scale
+            coords = np.concatenate([coords, coords[-1] + copy[1:]])
+            if coords[-1] > MAX_SAFE_COORDINATE:
+                raise ConstructionError(
+                    "R_t construction overflowed; lower t, c or max_copies"
+                )
+        # G: a long link spanning diam(R'), prepended on the left and
+        # sharing R's leftmost node.
+        diam = coords[-1] - coords[0]
+        coords = np.concatenate([[coords[0] - diam], coords])
+        return coords, k
+
+    # ------------------------------------------------------------------
+    @property
+    def positions(self) -> np.ndarray:
+        """Sorted 1-D coordinates of the instance."""
+        return self._positions
+
+    @property
+    def copy_counts(self) -> List[int]:
+        """Copies actually used at each level ``2..t`` (after capping)."""
+        return list(self._copy_counts)
+
+    def pointset(self) -> PointSet:
+        """The instance as a :class:`PointSet`."""
+        return PointSet(self._positions)
+
+    def mst_tree(self, sink: Optional[int] = None) -> AggregationTree:
+        """The (unique) MST, rooted at the rightmost node by default."""
+        points = self.pointset()
+        if sink is None:
+            sink = len(points) - 1
+        return AggregationTree.mst(points, sink=sink)
+
+    @property
+    def diversity(self) -> float:
+        """Length diversity of the instance."""
+        gaps = np.diff(self._positions)
+        return float(gaps.max() / gaps.min())
+
+    def predicted_rate_bound(self) -> float:
+        """Theorem 4's induction bound: rate at most ``2/(t+1)``."""
+        return 2.0 / (self.t + 1)
+
+    # ------------------------------------------------------------------
+    def copy_index_of_link(self) -> np.ndarray:
+        """For each MST link (adjacent gap, left-to-right), the top-level
+        copy it belongs to: ``-1`` for the long link ``G``, else
+        ``0..k-1``.  Only meaningful for ``t >= 2``."""
+        if self.t < 2:
+            return np.zeros(len(self._positions) - 1, dtype=int)
+        # Reconstruct top-level copy boundaries by replaying the build.
+        prev = RecursiveLogStarInstance(
+            self.t - 1, c=self.c, max_copies=self.max_copies, model=self.model
+        )
+        prev_n = len(prev.positions)
+        k = self._copy_counts[-1]
+        labels = [-1]  # the long link G is the leftmost gap
+        for s in range(k):
+            span = prev_n - 1  # gaps per copy (copies share endpoints)
+            labels.extend([s] * span)
+        return np.asarray(labels, dtype=int)
+
+    def true_top_level_copy_count(self) -> int:
+        """The uncapped ``k_t = c / rho(R_{t-1})`` of the top level."""
+        if self.t < 2:
+            raise ConfigurationError("copy counts exist only for t >= 2")
+        prev = RecursiveLogStarInstance(
+            self.t - 1, c=self.c, max_copies=self.max_copies, model=self.model
+        )
+        return self._true_copy_count(prev.positions)
+
+    def verify_claim_one(self) -> ClaimOneReport:
+        """Measure how many distinct copies a feasible set containing the
+        long link can touch — greedily grown with the exact spectral
+        oracle at the proof's strengthened threshold ``beta = 3^alpha``.
+        Claim 1 predicts at most half of the *true* copy count."""
+        if self.t < 2:
+            raise ConfigurationError("Claim 1 needs t >= 2")
+        strong_model = self.model.with_beta(self.model.strong_beta())
+        points = self.pointset()
+        tree = AggregationTree.mst(points, sink=len(points) - 1)
+        links = tree.links()
+        labels_sorted = self.copy_index_of_link()
+        # tree.links() orders links by child node; map to sorted-gap order.
+        gap_of_link = self._gap_index_per_link(links)
+        labels = labels_sorted[gap_of_link]
+        long_link = int(np.flatnonzero(labels == -1)[0])
+        chosen = [long_link]
+        copies_hit: set[int] = set()
+        # Greedy: try to add one link from each copy, longest-first.
+        order = np.argsort(-links.lengths)
+        for i in order:
+            i = int(i)
+            if labels[i] < 0 or labels[i] in copies_hit:
+                continue
+            if is_feasible_some_power(links, strong_model, chosen + [i]):
+                chosen.append(i)
+                copies_hit.add(int(labels[i]))
+        return ClaimOneReport(
+            num_copies_built=self._copy_counts[-1],
+            true_copy_count=self.true_top_level_copy_count(),
+            max_copies_with_long_link=len(copies_hit),
+        )
+
+    def _gap_index_per_link(self, links: LinkSet) -> np.ndarray:
+        """Map each tree link to the index of the sorted adjacent gap it
+        spans (line instances only)."""
+        order = np.argsort(self._positions)
+        pos_rank = np.empty(len(order), dtype=int)
+        pos_rank[order] = np.arange(len(order))
+        lo = np.minimum(pos_rank[links.sender_ids], pos_rank[links.receiver_ids])
+        return lo
+
+    def __repr__(self) -> str:
+        return (
+            f"RecursiveLogStarInstance(t={self.t}, n={len(self._positions)}, "
+            f"copies={self._copy_counts}, Delta={self.diversity:.4g})"
+        )

@@ -1,0 +1,246 @@
+"""Section 5: MST is not always the best aggregation tree (Fig. 4).
+
+For ``tau <= 2/5`` the paper builds a line instance with a hand-crafted
+spanning tree whose links split into two ``P_tau``-feasible sets — a
+2-slot schedule — while the instance's MST contains a doubly-exponential
+subchain that needs ``Theta(n)`` slots under ``P_tau`` (Claim 2 /
+Proposition 3).
+
+Construction (generalised to ``levels`` long links beyond the first):
+with ``l_1 = x`` and ``l_{m+1} = l_m^(1/tau)``, the *long* links are
+
+    link 1:  A0 -> A1           (length x, left to right)
+    link m+1:  s_{m+1} -> r_{m+1}  (length l_{m+1}, right to left)
+
+and the *short* links ``p_m = l_{m+1}^tau * l_m^(1 - tau + tau^2)``
+connect ``r_m -> s_{m+1}``.  The figure's 8-node instance is
+``levels = 3``.  For ``tau >= 3/5`` the mirrored construction uses the
+``1/(1 - tau)`` exponents and reverses every link's direction.
+
+Reproduction note (recorded in EXPERIMENTS.md): the paper claims the
+construction works for ``tau <= 2/5``, via the exponent
+``gamma = 1 - 4 tau + 4 tau^2 - 3 tau^3 + tau^4`` being positive.  In
+fact ``gamma(2/5) = -0.1264 < 0``; the polynomial is positive only for
+``tau`` below ~0.3396, and the exact SINR check confirms the short set
+``S'`` is *infeasible* at ``tau = 2/5``.  Use :meth:`claim_two_gamma`
+to see the margin; the verified regime is ``tau`` in ``(0, ~0.34]`` and
+symmetrically ``[~0.66, 1)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import MAX_SAFE_COORDINATE
+from repro.errors import ConfigurationError, ConstructionError
+from repro.geometry.point import PointSet
+from repro.links.linkset import LinkSet
+from repro.power.oblivious import ObliviousPower
+from repro.sinr.feasibility import is_feasible_with_power
+from repro.sinr.model import SINRModel
+from repro.spanning.tree import AggregationTree
+
+__all__ = ["MstSuboptimalFamily", "SuboptimalityReport"]
+
+
+@dataclass(frozen=True)
+class SuboptimalityReport:
+    """Outcome of the Claim-2 verification."""
+
+    long_set_feasible: bool
+    short_set_feasible: bool
+    custom_tree_slots: int
+    mst_slots_lower_bound: int
+
+    @property
+    def holds(self) -> bool:
+        """Whether the custom tree beats the MST as Prop. 3 predicts."""
+        return (
+            self.long_set_feasible
+            and self.short_set_feasible
+            and self.custom_tree_slots < self.mst_slots_lower_bound
+        )
+
+
+class MstSuboptimalFamily:
+    """Builds the Fig. 4 family for a given ``tau`` and depth.
+
+    Parameters
+    ----------
+    tau:
+        Oblivious exponent in ``(0, 2/5]`` or ``[3/5, 1)``.
+    levels:
+        Number of long-link levels beyond the first (the paper's 8-node
+        instance is ``levels = 3``).
+    x:
+        The base length (must be large enough for Claim 2's estimates;
+        the default scales with ``beta``).
+    """
+
+    def __init__(
+        self,
+        tau: float,
+        *,
+        levels: int = 3,
+        x: Optional[float] = None,
+        model: Optional[SINRModel] = None,
+    ) -> None:
+        if not (0.0 < tau <= 0.4 or 0.6 <= tau < 1.0):
+            raise ConfigurationError(
+                f"construction requires tau in (0, 2/5] or [3/5, 1), got {tau}"
+            )
+        if levels < 1:
+            raise ConfigurationError(f"levels must be >= 1, got {levels}")
+        self.tau = float(tau)
+        self.levels = int(levels)
+        self.model = model or SINRModel()
+        self.mirrored = tau >= 0.6
+        # The mirrored construction works with exponent 1 - tau.
+        self._eff_tau = 1.0 - self.tau if self.mirrored else self.tau
+        self.x = float(x) if x is not None else self._default_base()
+        (
+            self._coords,
+            self._long_links,
+            self._short_links,
+        ) = self._build()
+
+    # ------------------------------------------------------------------
+    def _default_base(self) -> float:
+        # Large enough that the doubly-exponentially decaying sums in
+        # Claim 2 are dominated by their first term with room to spare.
+        return max(32.0, (4.0 * self.model.beta) ** (1.0 / self._eff_tau))
+
+    def _build(self) -> Tuple[np.ndarray, List[Tuple[int, int]], List[Tuple[int, int]]]:
+        tau = self._eff_tau
+        # Long-link lengths l_1..l_{levels+1} and short lengths p_1..p_levels.
+        lengths = [self.x]
+        for _ in range(self.levels):
+            nxt = lengths[-1] ** (1.0 / tau)
+            if nxt > MAX_SAFE_COORDINATE:
+                raise ConstructionError("instance overflows floats; reduce levels or x")
+            lengths.append(nxt)
+        shorts = [
+            lengths[m + 1] ** tau * lengths[m] ** (1.0 - tau + tau * tau)
+            for m in range(self.levels)
+        ]
+        # Coordinates: A0 = 0, A1 = x; then alternate short (rightward)
+        # and long (leftward) hops.
+        coords: List[float] = [0.0, self.x]
+        long_links: List[Tuple[int, int]] = [(0, 1)]  # A0 -> A1
+        short_links: List[Tuple[int, int]] = []
+        r_prev = 1  # index of r_1 = A1
+        for m in range(self.levels):
+            s_next = coords[r_prev] + shorts[m]
+            coords.append(s_next)
+            s_idx = len(coords) - 1
+            short_links.append((r_prev, s_idx))  # r_m -> s_{m+1}
+            r_next = s_next - lengths[m + 1]
+            coords.append(r_next)
+            r_idx = len(coords) - 1
+            long_links.append((s_idx, r_idx))  # s_{m+1} -> r_{m+1}
+            r_prev = r_idx
+        arr = np.asarray(coords, dtype=float)
+        if self.mirrored:
+            # The tau >= 3/5 variant keeps the geometry (lengths already
+            # use the 1/(1-tau) exponents) but reverses every link's
+            # direction (Section 5's "reverse the directions").
+            long_links = [(b, a) for a, b in long_links]
+            short_links = [(b, a) for a, b in short_links]
+        return arr, long_links, short_links
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """``2 * levels + 2`` nodes (8 for the figure's instance)."""
+        return len(self._coords)
+
+    def pointset(self) -> PointSet:
+        """The underlying 1-D pointset."""
+        return PointSet(self._coords)
+
+    def custom_tree_links(self) -> LinkSet:
+        """All spanning-tree links of the hand-crafted tree, long links
+        first then short links (indices ``0..levels`` and
+        ``levels+1..2*levels``)."""
+        pairs = self._long_links + self._short_links
+        coords = self._coords.reshape(-1, 1)
+        senders = coords[[p[0] for p in pairs]]
+        receivers = coords[[p[1] for p in pairs]]
+        return LinkSet(
+            senders,
+            receivers,
+            sender_ids=[p[0] for p in pairs],
+            receiver_ids=[p[1] for p in pairs],
+        )
+
+    def power_scheme(self) -> ObliviousPower:
+        """The ``P_tau`` scheme the construction targets."""
+        return ObliviousPower(self.tau, self.model.alpha)
+
+    def claim_two_gamma(self) -> float:
+        """The decay exponent ``gamma = 1 - 4t + 4t^2 - 3t^3 + t^4`` of
+        Claim 2 (``t`` the effective tau).  Positive gamma is what makes
+        the short set's interference terms decay; see the module
+        docstring for the discrepancy with the paper's stated range."""
+        t = self._eff_tau
+        return 1.0 - 4.0 * t + 4.0 * t**2 - 3.0 * t**3 + t**4
+
+    # ------------------------------------------------------------------
+    def verify(self) -> SuboptimalityReport:
+        """Check Claim 2 and the MST penalty with exact SINR arithmetic.
+
+        * the long-link set ``S = {1..levels+1}`` is ``P_tau``-feasible,
+        * the short-link set ``S' = {p_1..p_levels}`` is ``P_tau``-feasible,
+        * every pair of distinct MST links inside the doubly-exponential
+          subchain (the ``e_m`` intervals) is ``P_tau``-infeasible, so
+          the MST needs at least as many slots as that subchain has
+          links (Section 4.1 argument).
+        """
+        links = self.custom_tree_links()
+        scheme = self.power_scheme()
+        powers = scheme.powers(links)
+        n_long = self.levels + 1
+        long_idx = list(range(n_long))
+        short_idx = list(range(n_long, n_long + self.levels))
+        long_ok = is_feasible_with_power(links, powers, self.model, long_idx)
+        short_ok = is_feasible_with_power(links, powers, self.model, short_idx)
+
+        mst_bound = self._mst_chain_slots()
+        return SuboptimalityReport(
+            long_set_feasible=long_ok,
+            short_set_feasible=short_ok,
+            custom_tree_slots=2,
+            mst_slots_lower_bound=mst_bound,
+        )
+
+    def _mst_chain_slots(self) -> int:
+        """Pairwise-infeasibility count over the MST's doubly-exponential
+        subchain: the number of MST links that are mutually exclusive
+        under ``P_tau``, a lower bound on the MST schedule length."""
+        points = self.pointset()
+        tree = AggregationTree.mst(points, sink=0)
+        links = tree.links()
+        scheme = self.power_scheme()
+        powers = scheme.powers(links)
+        # Greedily grow a set of pairwise-infeasible links (a clique in
+        # the "cannot share a slot" graph), longest links first.
+        order = np.argsort(-links.lengths)
+        clique: List[int] = []
+        for i in order:
+            i = int(i)
+            if all(
+                not is_feasible_with_power(links, powers, self.model, [i, j])
+                for j in clique
+            ):
+                clique.append(i)
+        return len(clique)
+
+    def __repr__(self) -> str:
+        return (
+            f"MstSuboptimalFamily(tau={self.tau}, levels={self.levels}, "
+            f"x={self.x:.4g}, n={self.num_nodes})"
+        )

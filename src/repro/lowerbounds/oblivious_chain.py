@@ -1,0 +1,214 @@
+"""Section 4.1: the doubly-exponential chain (Fig. 2).
+
+Points ``1..n`` on the line with gap ``t`` (between points ``t`` and
+``t+1``) equal to ``x**(1/tau')**t``, ``tau' = min(tau, 1 - tau)``.
+On this pointset *no two node-disjoint links are simultaneously
+``P_tau``-feasible*, so every aggregation tree and schedule is forced to
+one link per slot: rate ``1/(n-1)`` with ``n = Theta(log log Delta)``
+(Proposition 1).
+
+Coordinates grow doubly exponentially and overflow IEEE doubles beyond
+~9 levels (for ``tau = 1/2``), so the class supports two verification
+paths (Substitution S1 in DESIGN.md):
+
+* a **concrete** path materialising a :class:`PointSet` (raises
+  :class:`ConstructionError` on overflow), and
+* a **log-space** path computing all link lengths and distances as
+  (natural-log, sign-free) scalars, exact to float precision on the
+  *logs*, valid for thousands of levels.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import MAX_SAFE_COORDINATE
+from repro.errors import ConfigurationError, ConstructionError
+from repro.geometry.point import PointSet
+from repro.sinr.model import SINRModel
+
+__all__ = ["DoublyExponentialChain", "ChainVerification"]
+
+
+@dataclass(frozen=True)
+class ChainVerification:
+    """Outcome of the pairwise-infeasibility check."""
+
+    pairs_checked: int
+    feasible_pairs: int
+    max_coschedulable: int
+
+    @property
+    def holds(self) -> bool:
+        """Whether Proposition 1's conclusion holds: no feasible pair."""
+        return self.feasible_pairs == 0 and self.max_coschedulable == 1
+
+
+class DoublyExponentialChain:
+    """The Fig. 2 pointset, parameterised by ``n``, ``tau`` and base ``x``.
+
+    Parameters
+    ----------
+    n:
+        Number of points (``n - 1`` gaps).
+    tau:
+        The oblivious exponent the chain defeats, in ``(0, 1)``.
+    base:
+        The constant ``x``; default from :meth:`recommended_base`.
+    model:
+        SINR parameters (``beta`` and ``alpha`` feed the base choice).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        tau: float,
+        *,
+        model: Optional[SINRModel] = None,
+        base: Optional[float] = None,
+    ) -> None:
+        if n < 2:
+            raise ConfigurationError(f"chain needs at least 2 points, got {n}")
+        if not 0.0 < tau < 1.0:
+            raise ConfigurationError(f"tau must lie strictly in (0, 1), got {tau}")
+        self.n = int(n)
+        self.tau = float(tau)
+        self.model = model or SINRModel()
+        self.base = float(base) if base is not None else self.recommended_base(tau, self.model)
+        if self.base <= 2.0:
+            raise ConfigurationError(f"base must exceed 2, got {self.base}")
+        self.tau_prime = min(tau, 1.0 - tau)
+        # Natural log of gap t (t = 0..n-2): (1/tau')**t * ln(base).
+        growth = 1.0 / self.tau_prime
+        self._log_gaps = [growth**t * math.log(self.base) for t in range(self.n - 1)]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def recommended_base(tau: float, model: SINRModel, *, margin: float = 1.05) -> float:
+        """A base ``x`` satisfying the proof's requirement
+        ``x > max(2, (2 / beta^(1/alpha))^(1/tau'))`` with head-room."""
+        tau_prime = min(tau, 1.0 - tau)
+        threshold = (2.0 * model.beta ** (-1.0 / model.alpha)) ** (1.0 / tau_prime)
+        return margin * max(2.0, threshold)
+
+    # ------------------------------------------------------------------
+    # Log-space geometry
+    # ------------------------------------------------------------------
+    def log_gap(self, t: int) -> float:
+        """``ln`` of the gap between points ``t`` and ``t+1`` (0-based)."""
+        return self._log_gaps[t]
+
+    def log_distance(self, a: int, b: int) -> float:
+        """``ln`` of the distance between points ``a < b``.
+
+        The distance is the sum of gaps ``a..b-1``; the largest gap
+        dominates, and the smaller ones enter through an exact
+        ``log1p`` correction.
+        """
+        if a == b:
+            raise ConfigurationError("distance between identical points")
+        a, b = (a, b) if a < b else (b, a)
+        dominant = self._log_gaps[b - 1]
+        tail = sum(math.exp(self._log_gaps[s] - dominant) for s in range(a, b - 1))
+        return dominant + math.log1p(tail)
+
+    @property
+    def log_diversity(self) -> float:
+        """``ln Delta``: log of max over min pairwise distance."""
+        return self.log_distance(0, self.n - 1) - self._log_gaps[0]
+
+    @property
+    def loglog_diversity(self) -> float:
+        """``log2 log2 Delta`` — the quantity ``n`` scales with."""
+        ln_delta = self.log_diversity
+        return math.log2(max(ln_delta / math.log(2.0), 2.0))
+
+    # ------------------------------------------------------------------
+    # Concrete geometry
+    # ------------------------------------------------------------------
+    def positions(self) -> np.ndarray:
+        """Float coordinates; raises :class:`ConstructionError` when the
+        instance exceeds IEEE range (use the log-space path instead)."""
+        if self._log_gaps[-1] > math.log(MAX_SAFE_COORDINATE):
+            raise ConstructionError(
+                f"chain with n={self.n}, tau={self.tau} overflows floats; "
+                "use the log-space verifier"
+            )
+        gaps = np.exp(self._log_gaps)
+        return np.concatenate([[0.0], np.cumsum(gaps)])
+
+    def pointset(self) -> PointSet:
+        """The chain as a concrete :class:`PointSet`."""
+        return PointSet(self.positions())
+
+    @staticmethod
+    def max_safe_levels(tau: float, base: float) -> int:
+        """Largest ``n`` whose coordinates stay within IEEE range."""
+        tau_prime = min(tau, 1.0 - tau)
+        growth = 1.0 / tau_prime
+        limit = math.log(MAX_SAFE_COORDINATE)
+        t = 0
+        while growth ** (t + 1) * math.log(base) <= limit:
+            t += 1
+        # Largest representable gap index is t, so gaps 0..t fit: n = t + 2 points.
+        return t + 2
+
+    # ------------------------------------------------------------------
+    # Verification (Proposition 1)
+    # ------------------------------------------------------------------
+    def _log_relative_interference(
+        self, sender_j: int, receiver_j: int, sender_i: int, receiver_i: int
+    ) -> float:
+        """``ln I_Ptau(j, i) = alpha * (tau ln l_j + (1-tau) ln l_i - ln d_ji)``."""
+        alpha, tau = self.model.alpha, self.tau
+        log_lj = self.log_distance(sender_j, receiver_j)
+        log_li = self.log_distance(sender_i, receiver_i)
+        log_dji = self.log_distance(sender_j, receiver_i)
+        return alpha * (tau * log_lj + (1.0 - tau) * log_li - log_dji)
+
+    def pair_feasible(self, link_a: Tuple[int, int], link_b: Tuple[int, int]) -> bool:
+        """Whether two node-disjoint links are jointly ``P_tau``-feasible
+        (noiseless, log-space exact)."""
+        sa, ra = link_a
+        sb, rb = link_b
+        if len({sa, ra, sb, rb}) < 4:
+            return False  # shared node: half-duplex conflict
+        log_inv_beta = -math.log(self.model.beta)
+        ia = self._log_relative_interference(sb, rb, sa, ra)
+        ib = self._log_relative_interference(sa, ra, sb, rb)
+        return ia <= log_inv_beta and ib <= log_inv_beta
+
+    def verify_pairwise_infeasible(self) -> ChainVerification:
+        """Exhaustively check every pair of node-disjoint links over the
+        chain's points — Proposition 1 predicts none is feasible."""
+        points = range(self.n)
+        links = [(s, r) for s in points for r in points if s != r]
+        pairs_checked = 0
+        feasible = 0
+        for la, lb in itertools.combinations(links, 2):
+            if len({*la, *lb}) < 4:
+                continue
+            pairs_checked += 1
+            if self.pair_feasible(la, lb):
+                feasible += 1
+        return ChainVerification(
+            pairs_checked=pairs_checked,
+            feasible_pairs=feasible,
+            max_coschedulable=1 if feasible == 0 else 2,
+        )
+
+    def forced_rate(self) -> float:
+        """The aggregation-rate upper bound Proposition 1 implies:
+        one link per slot over any spanning tree -> ``1/(n-1)``."""
+        return 1.0 / (self.n - 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"DoublyExponentialChain(n={self.n}, tau={self.tau}, "
+            f"base={self.base:.4g}, loglogDelta={self.loglog_diversity:.2f})"
+        )

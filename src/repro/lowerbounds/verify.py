@@ -1,0 +1,113 @@
+"""Generic verification utilities for lower-bound instances."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.links.linkset import LinkSet
+from repro.sinr.feasibility import is_feasible_with_power
+from repro.sinr.model import SINRModel
+from repro.sinr.powercontrol import is_feasible_some_power
+
+__all__ = [
+    "feasible_pairs_under_power",
+    "max_feasible_set_size",
+    "pairwise_infeasibility_report",
+    "PairwiseReport",
+]
+
+
+@dataclass(frozen=True)
+class PairwiseReport:
+    """Summary of an exhaustive pairwise feasibility sweep."""
+
+    pairs_checked: int
+    feasible_pairs: Tuple[Tuple[int, int], ...]
+
+    @property
+    def all_infeasible(self) -> bool:
+        return not self.feasible_pairs
+
+
+def feasible_pairs_under_power(
+    links: LinkSet, power, model: SINRModel
+) -> List[Tuple[int, int]]:
+    """All index pairs that are jointly feasible under a fixed power."""
+    if hasattr(power, "powers"):
+        vec = np.asarray(power.powers(links), dtype=float)
+    else:
+        vec = np.asarray(power, dtype=float)
+    pairs = []
+    for i, j in itertools.combinations(range(len(links)), 2):
+        if is_feasible_with_power(links, vec, model, [i, j]):
+            pairs.append((i, j))
+    return pairs
+
+
+def pairwise_infeasibility_report(
+    links: LinkSet, power, model: SINRModel
+) -> PairwiseReport:
+    """Exhaustive pairwise sweep packaged as a report."""
+    n = len(links)
+    feasible = feasible_pairs_under_power(links, power, model)
+    return PairwiseReport(
+        pairs_checked=n * (n - 1) // 2,
+        feasible_pairs=tuple(feasible),
+    )
+
+
+def max_feasible_set_size(
+    links: LinkSet,
+    model: SINRModel,
+    *,
+    power=None,
+    exact_limit: int = 16,
+) -> int:
+    """Size of the largest feasible subset.
+
+    Exact (exponential branch and bound) for up to ``exact_limit``
+    links; greedy longest-first lower bound beyond that.  ``power=None``
+    uses the power-control oracle, otherwise the fixed-power check.
+    """
+    n = len(links)
+    if power is None:
+
+        def feasible(subset: Sequence[int]) -> bool:
+            return is_feasible_some_power(links, model, list(subset))
+
+    else:
+        vec = (
+            np.asarray(power.powers(links), dtype=float)
+            if hasattr(power, "powers")
+            else np.asarray(power, dtype=float)
+        )
+
+        def feasible(subset: Sequence[int]) -> bool:
+            return is_feasible_with_power(links, vec, model, list(subset))
+
+    if n <= exact_limit:
+        best = 1
+
+        def recurse(start: int, chosen: List[int]) -> None:
+            nonlocal best
+            best = max(best, len(chosen))
+            if len(chosen) + (n - start) <= best:
+                return  # cannot beat the incumbent
+            for k in range(start, n):
+                candidate = chosen + [k]
+                if feasible(candidate):
+                    recurse(k + 1, candidate)
+
+        recurse(0, [])
+        return best
+
+    order = np.argsort(-links.lengths)
+    chosen: List[int] = []
+    for i in order:
+        if feasible(chosen + [int(i)]):
+            chosen.append(int(i))
+    return max(1, len(chosen))

@@ -1,0 +1,22 @@
+"""Power assignments: oblivious schemes and the global power solver."""
+
+from repro.power.base import PowerAssignment
+from repro.power.global_power import GlobalPowerSolver
+from repro.power.limits import is_interference_limited, max_power_reduced_edges
+from repro.power.oblivious import (
+    LinearPower,
+    ObliviousPower,
+    UniformPower,
+    mean_power,
+)
+
+__all__ = [
+    "GlobalPowerSolver",
+    "LinearPower",
+    "ObliviousPower",
+    "PowerAssignment",
+    "UniformPower",
+    "is_interference_limited",
+    "max_power_reduced_edges",
+    "mean_power",
+]

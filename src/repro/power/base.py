@@ -1,0 +1,34 @@
+"""Abstract power-assignment interface."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.links.linkset import LinkSet
+
+__all__ = ["PowerAssignment"]
+
+
+class PowerAssignment(abc.ABC):
+    """A rule mapping every link of a :class:`LinkSet` to a positive
+    transmit power.
+
+    Oblivious schemes depend only on the link's own length; the global
+    solver inspects the whole concurrently scheduled set.  Both expose
+    the same :meth:`powers` interface so feasibility checks and the
+    simulator are agnostic to the mode.
+    """
+
+    @abc.abstractmethod
+    def powers(self, links: LinkSet) -> np.ndarray:
+        """Positive power for each link of ``links`` (shape ``(n,)``)."""
+
+    @property
+    def is_oblivious(self) -> bool:
+        """Whether the power of a link depends only on its own length."""
+        return False
+
+    def __call__(self, links: LinkSet) -> np.ndarray:
+        return self.powers(links)

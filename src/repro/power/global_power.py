@@ -1,0 +1,56 @@
+"""Global (arbitrary) power control.
+
+The global mode lets each color class pick its own power vector.  The
+solver wraps :func:`repro.sinr.powercontrol.feasible_power_assignment`
+in the :class:`PowerAssignment` interface so schedules can carry one
+power object per slot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.links.linkset import LinkSet
+from repro.power.base import PowerAssignment
+from repro.sinr.model import SINRModel
+from repro.sinr.powercontrol import feasible_power_assignment, is_feasible_some_power
+
+__all__ = ["GlobalPowerSolver"]
+
+
+class GlobalPowerSolver(PowerAssignment):
+    """Computes a feasibility-certifying power vector for a link set.
+
+    Unlike the oblivious schemes this is *context sensitive*: the power
+    of a link depends on every other concurrently scheduled link, which
+    is exactly the "global power control" mode of the paper.
+
+    The object is stateless across calls; :meth:`powers` solves for the
+    set it is handed.
+    """
+
+    def __init__(self, model: SINRModel) -> None:
+        self.model = model
+
+    @property
+    def is_oblivious(self) -> bool:
+        return False
+
+    def powers(self, links: LinkSet) -> np.ndarray:
+        """Minimal Neumann-series power vector for the whole set.
+
+        Raises :class:`~repro.errors.InfeasibleError` when the set is
+        not feasible under any powers.
+        """
+        return feasible_power_assignment(links, self.model)
+
+    def can_schedule_together(
+        self, links: LinkSet, active: Optional[Sequence[int]] = None
+    ) -> bool:
+        """Whether the (sub)set admits any feasible power vector."""
+        return is_feasible_some_power(links, self.model, active)
+
+    def __repr__(self) -> str:
+        return f"GlobalPowerSolver(model={self.model})"

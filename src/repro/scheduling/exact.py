@@ -1,0 +1,114 @@
+"""Exact optimal coloring schedules for small instances.
+
+The greedy pipeline is a constant-factor approximation; for instances
+of up to ~14 links the true optimum is computable and lets benchmarks
+measure the approximation ratio directly.
+
+Feasibility (fixed power or power control) is *downward closed* —
+removing a link from a feasible set keeps it feasible (interference
+only decreases; for power control, a principal submatrix of a
+non-negative matrix has no larger spectral radius).  The minimum
+number of feasible slots is therefore a minimum partition into members
+of a downward-closed family, solved by bitmask dynamic programming
+over subsets.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.links.linkset import LinkSet
+from repro.sinr.feasibility import is_feasible_with_power
+from repro.sinr.model import SINRModel
+from repro.sinr.powercontrol import is_feasible_some_power
+
+__all__ = ["minimum_schedule_length", "minimum_schedule", "feasible_masks"]
+
+#: Hard size cap: the DP is O(3^n).
+MAX_EXACT_LINKS = 16
+
+
+def _oracle(links: LinkSet, model: SINRModel, power) -> Callable[[List[int]], bool]:
+    if power is None:
+        return lambda subset: is_feasible_some_power(links, model, subset)
+    vec = (
+        np.asarray(power.powers(links), dtype=float)
+        if hasattr(power, "powers")
+        else np.asarray(power, dtype=float)
+    )
+    return lambda subset: is_feasible_with_power(links, vec, model, subset)
+
+
+def feasible_masks(links: LinkSet, model: SINRModel, power=None) -> np.ndarray:
+    """Boolean table over all 2^n subsets: is the subset feasible?
+
+    Exploits downward closure: a mask is checked only if all its
+    one-link-removed submasks are feasible.
+    """
+    n = len(links)
+    if n > MAX_EXACT_LINKS:
+        raise ConfigurationError(
+            f"exact schedule limited to {MAX_EXACT_LINKS} links, got {n}"
+        )
+    oracle = _oracle(links, model, power)
+    table = np.zeros(1 << n, dtype=bool)
+    table[0] = True
+    for i in range(n):
+        table[1 << i] = True  # singletons are feasible (noise margin)
+    for mask in range(1, 1 << n):
+        if bin(mask).count("1") < 2 or table[mask]:
+            continue
+        # Downward-closure pruning.
+        sub_ok = True
+        m = mask
+        while m:
+            bit = m & (-m)
+            if not table[mask ^ bit]:
+                sub_ok = False
+                break
+            m ^= bit
+        if not sub_ok:
+            continue
+        subset = [i for i in range(n) if mask >> i & 1]
+        table[mask] = oracle(subset)
+    return table
+
+
+def minimum_schedule_length(links: LinkSet, model: SINRModel, power=None) -> int:
+    """The exact minimum number of feasible slots covering all links."""
+    return len(minimum_schedule(links, model, power))
+
+
+def minimum_schedule(links: LinkSet, model: SINRModel, power=None) -> List[List[int]]:
+    """An optimal partition of the link set into feasible slots.
+
+    Returns the slots as index lists.  O(3^n) subset DP.
+    """
+    n = len(links)
+    table = feasible_masks(links, model, power)
+    full = (1 << n) - 1
+    INF = n + 1
+    best = np.full(1 << n, INF, dtype=int)
+    choice = np.zeros(1 << n, dtype=np.int64)
+    best[0] = 0
+    for mask in range(1, 1 << n):
+        # Fix the lowest set bit in every candidate slot: canonical
+        # decomposition, cuts the submask enumeration in half.
+        low = mask & (-mask)
+        sub = mask
+        while sub:
+            if sub & low and table[sub] and best[mask ^ sub] + 1 < best[mask]:
+                best[mask] = best[mask ^ sub] + 1
+                choice[mask] = sub
+            sub = (sub - 1) & mask
+    slots: List[List[int]] = []
+    mask = full
+    while mask:
+        sub = int(choice[mask])
+        slots.append([i for i in range(n) if sub >> i & 1])
+        mask ^= sub
+    return slots

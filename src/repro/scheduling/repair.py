@@ -1,0 +1,65 @@
+"""Feasibility repair: splitting a color class into certified slots.
+
+The conflict graphs guarantee feasibility only for *sufficiently large*
+constants ``gamma``; with practical constants an occasional color class
+can violate the exact SINR condition.  The repair pass makes the output
+unconditional: process the class longest-first and first-fit each link
+into the first sub-slot that stays feasible, opening a new sub-slot when
+none accepts it.  Single links are always feasible (interference-limited
+assumption), so the pass terminates with certified slots.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.links.linkset import LinkSet
+from repro.util.ordering import argsort_by_length_nonincreasing
+
+__all__ = ["split_into_feasible_slots"]
+
+FeasibilityPredicate = Callable[[Sequence[int]], bool]
+
+
+def split_into_feasible_slots(
+    links: LinkSet,
+    class_indices: Sequence[int],
+    is_feasible: FeasibilityPredicate,
+) -> List[List[int]]:
+    """Partition ``class_indices`` into feasible sub-slots.
+
+    Parameters
+    ----------
+    links:
+        The full link set (for length ordering).
+    class_indices:
+        Link indices of one color class.
+    is_feasible:
+        Oracle deciding whether a candidate index subset is feasible
+        (fixed-power SINR check or power-control spectral check).
+
+    Returns the sub-slots in creation order.  If the class is already
+    feasible the result is a single slot — the common case, so it is
+    checked first.
+    """
+    idx = [int(i) for i in np.atleast_1d(class_indices)]
+    if not idx:
+        return []
+    if is_feasible(idx):
+        return [idx]
+    lengths = links.lengths[idx]
+    order = [idx[k] for k in argsort_by_length_nonincreasing(lengths)]
+    slots: List[List[int]] = []
+    for link in order:
+        placed = False
+        for slot in slots:
+            candidate = slot + [link]
+            if is_feasible(candidate):
+                slot.append(link)
+                placed = True
+                break
+        if not placed:
+            slots.append([link])
+    return slots

@@ -1,0 +1,176 @@
+"""Periodic coloring schedules and their SINR certification.
+
+A :class:`Schedule` is a partition of a link set into :class:`Slot`s,
+repeated periodically (Section 2: "coloring schedules").  Each slot
+carries the concrete power vector that certifies its feasibility, so a
+validated schedule is a *proof object*: every slot satisfies Equation
+(1) with its recorded powers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.links.linkset import LinkSet
+from repro.sinr.feasibility import is_feasible_with_power, sinr_values
+from repro.sinr.model import SINRModel
+
+__all__ = ["Slot", "Schedule"]
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One TDMA slot: concurrently transmitting links and their powers.
+
+    ``link_indices`` index into the schedule's link set; ``powers`` is
+    aligned with ``link_indices``.
+    """
+
+    link_indices: tuple
+    powers: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.link_indices) != len(self.powers):
+            raise ScheduleError("slot powers must align with link indices")
+        if len(self.link_indices) == 0:
+            raise ScheduleError("a slot must contain at least one link")
+        if len(set(self.link_indices)) != len(self.link_indices):
+            raise ScheduleError("a slot cannot repeat a link")
+        if any(p <= 0 for p in self.powers):
+            raise ScheduleError("slot powers must be positive")
+
+    def __len__(self) -> int:
+        return len(self.link_indices)
+
+    @staticmethod
+    def from_arrays(indices, powers) -> "Slot":
+        """Build a slot from array-likes."""
+        return Slot(
+            tuple(int(i) for i in np.atleast_1d(indices)),
+            tuple(float(p) for p in np.atleast_1d(powers)),
+        )
+
+
+class Schedule:
+    """A periodic TDMA schedule over a link set.
+
+    Parameters
+    ----------
+    links:
+        The scheduled link set.
+    slots:
+        The feasible sets, one per time slot of the period.
+    model:
+        SINR parameters the schedule claims feasibility under.
+    validate:
+        When true (default), every slot is re-checked against Equation
+        (1) and the slot partition is verified to cover each link
+        exactly once.
+    """
+
+    def __init__(
+        self,
+        links: LinkSet,
+        slots: Sequence[Slot],
+        model: SINRModel,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.links = links
+        self.slots: List[Slot] = list(slots)
+        self.model = model
+        if not self.slots:
+            raise ScheduleError("a schedule needs at least one slot")
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`ScheduleError` unless the schedule is a feasible
+        partition of its link set."""
+        seen: set[int] = set()
+        total = 0
+        for slot in self.slots:
+            total += len(slot)
+            seen.update(slot.link_indices)
+        if seen != set(range(len(self.links))) or total != len(self.links):
+            raise ScheduleError(
+                "slots must partition the link set: each link in exactly one slot"
+            )
+        for k, slot in enumerate(self.slots):
+            if not is_feasible_with_power(
+                self.links, self._full_power_vector(slot), self.model, slot.link_indices
+            ):
+                raise ScheduleError(f"slot {k} violates the SINR condition")
+
+    def _full_power_vector(self, slot: Slot) -> np.ndarray:
+        """Expand slot powers to a full-length vector (inactive links get
+        a placeholder power of 1; they do not transmit)."""
+        vec = np.ones(len(self.links))
+        for i, p in zip(slot.link_indices, slot.powers):
+            vec[i] = p
+        return vec
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    @property
+    def num_slots(self) -> int:
+        """Schedule length ``C`` (the period)."""
+        return len(self.slots)
+
+    @property
+    def rate(self) -> float:
+        """Aggregation rate of the periodic schedule: ``1/C``."""
+        return 1.0 / self.num_slots
+
+    def slot_of_link(self, link_index: int) -> int:
+        """The slot number in which a link transmits."""
+        for k, slot in enumerate(self.slots):
+            if link_index in slot.link_indices:
+                return k
+        raise ScheduleError(f"link {link_index} not scheduled")
+
+    def colors(self) -> np.ndarray:
+        """Color array: ``colors[i]`` = slot of link ``i``."""
+        colors = np.full(len(self.links), -1, dtype=int)
+        for k, slot in enumerate(self.slots):
+            for i in slot.link_indices:
+                colors[i] = k
+        return colors
+
+    def min_slack(self) -> float:
+        """Minimum over slots and links of ``SINR / beta`` (>= 1 iff the
+        schedule is feasible); a robustness margin for experiments."""
+        worst = np.inf
+        for slot in self.slots:
+            values = sinr_values(
+                self.links, self._full_power_vector(slot), self.model, slot.link_indices
+            )
+            worst = min(worst, float((values / self.model.beta).min()))
+        return worst
+
+    def power_stats(self) -> dict:
+        """Min / max / total transmit power over all slots."""
+        all_powers = [p for slot in self.slots for p in slot.powers]
+        return {
+            "min": min(all_powers),
+            "max": max(all_powers),
+            "total": sum(all_powers),
+        }
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Slot]:
+        return iter(self.slots)
+
+    def __len__(self) -> int:
+        return self.num_slots
+
+    def __repr__(self) -> str:
+        return f"Schedule(links={len(self.links)}, slots={self.num_slots}, rate=1/{self.num_slots})"

@@ -1,0 +1,36 @@
+"""The physical (SINR) interference model and feasibility oracles."""
+
+from repro.sinr.affectance import (
+    additive_interference,
+    additive_interference_matrix,
+    relative_interference_matrix,
+)
+from repro.sinr.feasibility import (
+    is_feasible_with_power,
+    max_relative_interference,
+    sinr_values,
+)
+from repro.sinr.model import SINRModel
+from repro.sinr.robustness import FadingChannel, measure_retransmissions
+from repro.sinr.powercontrol import (
+    affectance_matrix,
+    feasible_power_assignment,
+    is_feasible_some_power,
+    spectral_radius,
+)
+
+__all__ = [
+    "FadingChannel",
+    "SINRModel",
+    "additive_interference",
+    "measure_retransmissions",
+    "additive_interference_matrix",
+    "affectance_matrix",
+    "feasible_power_assignment",
+    "is_feasible_some_power",
+    "is_feasible_with_power",
+    "max_relative_interference",
+    "relative_interference_matrix",
+    "sinr_values",
+    "spectral_radius",
+]

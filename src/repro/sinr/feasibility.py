@@ -1,0 +1,106 @@
+"""Fixed-power SINR feasibility (Section 2, Equation 1).
+
+Given a concrete power vector, a set ``S`` is feasible iff for every
+link ``i``::
+
+    P(i)/l_i^alpha  >=  beta * ( sum_{j in S, j != i} P(j)/d_ji^alpha + N )
+
+Everything here is vectorised over the whole set at once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.links.linkset import LinkSet
+from repro.sinr.model import SINRModel
+
+__all__ = ["sinr_values", "is_feasible_with_power", "max_relative_interference"]
+
+
+def _as_power_vector(links: LinkSet, power) -> np.ndarray:
+    """Normalise ``power`` (vector or PowerAssignment) to a vector."""
+    if hasattr(power, "powers"):
+        vec = np.asarray(power.powers(links), dtype=float)
+    else:
+        vec = np.asarray(power, dtype=float)
+    if vec.shape != (len(links),):
+        raise ConfigurationError(
+            f"power vector shape {vec.shape} does not match link count {len(links)}"
+        )
+    if np.any(vec <= 0) or not np.all(np.isfinite(vec)):
+        raise ConfigurationError("powers must be positive and finite")
+    return vec
+
+
+def sinr_values(
+    links: LinkSet,
+    power,
+    model: SINRModel,
+    active: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """SINR at every receiver of ``active`` (default: all links).
+
+    Returns an array aligned with ``active``: entry ``k`` is the SINR of
+    link ``active[k]`` when exactly the active links transmit with the
+    given powers.
+    """
+    vec = _as_power_vector(links, power)
+    if active is None:
+        idx = np.arange(len(links))
+    else:
+        idx = np.asarray(active, dtype=int)
+    sub = links.subset(idx)
+    p = vec[idx]
+    dist = sub.sender_receiver_distances()  # D[j, i] = d(s_j, r_i)
+    lengths = sub.lengths
+    # Work with *relative* quantities: SINR_i = 1 / (sum_j I_P(j, i) +
+    # N l_i^alpha / P_i) where I_P(j, i) = (P_j/P_i) (l_i/d_ji)^alpha.
+    # Ratios stay representable on instances whose absolute gains
+    # under/overflow (coordinates up to ~1e154 in the adversarial
+    # constructions).
+    with np.errstate(divide="ignore", over="ignore"):
+        power_ratio = p[:, None] / p[None, :]  # [j, i] = P_j / P_i
+        geom = (lengths[None, :] / dist) ** model.alpha  # [j, i] = (l_i/d_ji)^alpha
+        rel = power_ratio * geom  # I_P(j, i); inf when d_ji = 0
+    np.fill_diagonal(rel, 0.0)
+    with np.errstate(over="ignore", divide="ignore"):
+        rel_noise = model.noise * lengths**model.alpha / p if model.noise else 0.0
+        denom = rel.sum(axis=0) + rel_noise
+        return np.where(denom > 0, 1.0 / denom, np.inf)
+
+
+def is_feasible_with_power(
+    links: LinkSet,
+    power,
+    model: SINRModel,
+    active: Optional[Sequence[int]] = None,
+    *,
+    slack: float = 0.0,
+) -> bool:
+    """Whether the ``active`` subset satisfies Equation (1) with the
+    given powers.  ``slack`` tightens the test (requires SINR >= beta *
+    (1 + slack)), useful for robustness experiments."""
+    values = sinr_values(links, power, model, active)
+    return bool(np.all(values >= model.beta * (1.0 + slack)))
+
+
+def max_relative_interference(
+    links: LinkSet,
+    power,
+    model: SINRModel,
+    active: Optional[Sequence[int]] = None,
+) -> float:
+    """Maximum over active links of ``beta * (I + N) / S``.
+
+    At most 1 iff the set is feasible; the margin is a useful scalar
+    "distance to infeasibility" for diagnostics and benchmarks.
+    """
+    values = sinr_values(links, power, model, active)
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return 0.0
+    return float((model.beta / finite).max())

@@ -1,0 +1,35 @@
+"""Spanning structures: MSTs, oriented aggregation trees, reduced graphs."""
+
+from repro.spanning.kconnect import k_connected_edges, k_connected_links
+from repro.spanning.knn_graph import (
+    critical_range,
+    knn_edges,
+    power_limited_tree,
+    range_limited_edges,
+    reduced_mst,
+)
+from repro.spanning.latency import balanced_matching_tree, tree_latency_bound
+from repro.spanning.mst import (
+    line_mst_edges,
+    mst_edges,
+    mst_edges_kruskal,
+    mst_edges_prim,
+)
+from repro.spanning.tree import AggregationTree
+
+__all__ = [
+    "AggregationTree",
+    "balanced_matching_tree",
+    "critical_range",
+    "k_connected_edges",
+    "k_connected_links",
+    "knn_edges",
+    "line_mst_edges",
+    "mst_edges",
+    "mst_edges_kruskal",
+    "mst_edges_prim",
+    "power_limited_tree",
+    "range_limited_edges",
+    "reduced_mst",
+    "tree_latency_bound",
+]

@@ -1,0 +1,118 @@
+"""Reduced communication graphs (power-limited deployments, §3.1).
+
+When senders have a power cap, only sufficiently close node pairs can
+communicate, and the aggregation tree must be an MST of the *reduced*
+graph.  This module builds reduced edge sets (range-limited and
+k-nearest-neighbour) and the MSTs over them, raising a clear error when
+the cap disconnects the deployment (the paper's noise-limited regime,
+where only the trivial rate is possible).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError, InfeasibleError
+from repro.geometry.point import PointSet
+from repro.power.limits import max_range
+from repro.sinr.model import SINRModel
+from repro.spanning.mst import mst_edges_kruskal
+from repro.spanning.tree import AggregationTree
+from repro.util.unionfind import UnionFind
+
+__all__ = [
+    "range_limited_edges",
+    "knn_edges",
+    "reduced_mst",
+    "power_limited_tree",
+    "critical_range",
+]
+
+Edge = Tuple[int, int]
+
+
+def range_limited_edges(points: PointSet, reach: float) -> List[Tuple[int, int, float]]:
+    """All node pairs within ``reach``, as weighted edges."""
+    if reach <= 0:
+        raise GeometryError(f"reach must be positive, got {reach}")
+    dm = points.distance_matrix()
+    n = len(points)
+    edges = []
+    for i in range(n):
+        row = dm[i]
+        for j in range(i + 1, n):
+            if row[j] <= reach:
+                edges.append((i, j, float(row[j])))
+    return edges
+
+
+def knn_edges(points: PointSet, k: int) -> List[Tuple[int, int, float]]:
+    """The symmetric k-nearest-neighbour graph, as weighted edges."""
+    n = len(points)
+    if not 1 <= k < n:
+        raise GeometryError(f"k must be in [1, {n - 1}], got {k}")
+    dm = points.distance_matrix()
+    pairs = set()
+    for i in range(n):
+        order = np.argsort(dm[i], kind="stable")
+        count = 0
+        for j in order:
+            if j == i:
+                continue
+            pairs.add((min(i, int(j)), max(i, int(j))))
+            count += 1
+            if count == k:
+                break
+    return [(u, v, float(dm[u, v])) for u, v in sorted(pairs)]
+
+
+def reduced_mst(points: PointSet, edges) -> List[Edge]:
+    """MST over an explicit reduced edge set.
+
+    Raises :class:`GeometryError` when the reduced graph is
+    disconnected (the deployment cannot aggregate at the given cap).
+    """
+    return mst_edges_kruskal(len(points), list(edges))
+
+
+def critical_range(points: PointSet) -> float:
+    """The smallest communication range keeping the deployment
+    connected — the longest MST edge (the connectivity threshold)."""
+    from repro.spanning.mst import mst_edges
+
+    edges = mst_edges(points)
+    return max(points.distance(u, v) for u, v in edges) if edges else 0.0
+
+
+def power_limited_tree(
+    points: PointSet,
+    p_max: float,
+    model: SINRModel,
+    *,
+    sink: int = 0,
+) -> AggregationTree:
+    """The aggregation tree of a power-capped deployment.
+
+    Builds the MST of the range-limited reduced graph; the paper's
+    requirement ``P(i) >= (1 + eps) beta N l_i^alpha`` then holds for
+    every tree link by construction.
+
+    Raises
+    ------
+    InfeasibleError
+        When ``p_max`` cannot even connect the deployment (noise-limited
+        regime: only the trivial 1/n rate is possible, Section 3.1).
+    """
+    reach = max_range(p_max, model)
+    if not np.isfinite(reach):
+        return AggregationTree.mst(points, sink=sink)
+    try:
+        edges = reduced_mst(points, range_limited_edges(points, reach))
+    except GeometryError as exc:
+        raise InfeasibleError(
+            f"power cap {p_max:g} (range {reach:.4g}) disconnects the deployment; "
+            f"the critical range is {critical_range(points):.4g}"
+        ) from exc
+    return AggregationTree(points, edges, sink=sink)

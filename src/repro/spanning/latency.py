@@ -1,0 +1,85 @@
+"""Rate-vs-latency trees (§3.1 "Rate vs. latency").
+
+The MST optimises rate but can be a path with Theta(n) hop latency; a
+balanced matching-based tree ([11]-style) achieves O(log n) aggregation
+depth at the cost of longer links (and hence a worse rate).  This
+module builds that latency-oriented tree so the bicriteria trade-off is
+measurable.
+
+Construction: repeatedly compute a greedy nearest-neighbour matching on
+the surviving "representative" nodes and point each matched node at its
+representative; after O(log n) rounds one representative (the sink's)
+remains.  Every node's hop distance to the root is then at most the
+number of rounds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.point import PointSet
+from repro.spanning.tree import AggregationTree
+
+__all__ = ["balanced_matching_tree", "tree_latency_bound"]
+
+Edge = Tuple[int, int]
+
+
+def _greedy_min_matching(dm: np.ndarray, alive: List[int]) -> List[Tuple[int, int]]:
+    """Greedy minimum-weight matching on the alive nodes (shortest
+    compatible pair first).  Leaves at most one node unmatched per
+    round when ``len(alive)`` is odd."""
+    pairs = [
+        (float(dm[u, v]), u, v)
+        for i, u in enumerate(alive)
+        for v in alive[i + 1 :]
+    ]
+    pairs.sort()
+    used: set[int] = set()
+    matching = []
+    for _w, u, v in pairs:
+        if u in used or v in used:
+            continue
+        matching.append((u, v))
+        used.update((u, v))
+    return matching
+
+
+def balanced_matching_tree(points: PointSet, sink: int = 0) -> AggregationTree:
+    """A spanning tree of logarithmic aggregation depth.
+
+    Each matching round halves the representative set, so the tree's
+    height is at most ``ceil(log2 n)`` — the latency-optimal shape —
+    while the links can be much longer than MST links (worse rate).
+    """
+    n = len(points)
+    if not 0 <= sink < n:
+        raise GeometryError(f"sink {sink} out of range for {n} points")
+    if n == 1:
+        return AggregationTree(points, [], sink=sink)
+    dm = points.distance_matrix()
+    alive = list(range(n))
+    edges: List[Edge] = []
+    while len(alive) > 1:
+        matching = _greedy_min_matching(dm, alive)
+        absorbed: set[int] = set()
+        for u, v in matching:
+            # Keep the sink alive so it ends up as the root.
+            keep, drop = (u, v) if (u == sink or (v != sink and u < v)) else (v, u)
+            edges.append((drop, keep))
+            absorbed.add(drop)
+        alive = [x for x in alive if x not in absorbed]
+        if not matching:  # defensive: cannot happen with >= 2 alive
+            raise GeometryError("matching round made no progress")
+    # The sink is never absorbed (the tie-break keeps it), so it is the
+    # unique surviving representative and the edges span the pointset.
+    return AggregationTree(points, edges, sink=sink)
+
+
+def tree_latency_bound(tree: AggregationTree) -> int:
+    """Hop-latency lower bound of a tree schedule: its height (each
+    frame needs at least one slot per level)."""
+    return tree.height()

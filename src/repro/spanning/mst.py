@@ -1,0 +1,168 @@
+"""Minimum spanning trees of pointsets.
+
+Three implementations, selected automatically by :func:`mst_edges`:
+
+* ``line``:    exact 1-D specialisation — sort and connect neighbours
+  (the unique MST on the line, as Section 4.2 uses);
+* ``prim``:    dense ``O(n^2)`` Prim over the full distance matrix —
+  the general workhorse, correct in any dimension;
+* ``kruskal``: union-find Kruskal over an explicit edge list — used for
+  reduced graphs (power-limited deployments) and by the Delaunay
+  acceleration when scipy is importable.
+
+Ties between equal-weight edges are broken deterministically by index,
+so repeated runs produce identical trees.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.point import PointSet
+from repro.util.unionfind import UnionFind
+
+__all__ = [
+    "mst_edges",
+    "mst_edges_prim",
+    "mst_edges_kruskal",
+    "line_mst_edges",
+]
+
+Edge = Tuple[int, int]
+
+
+def mst_edges_prim(points: PointSet) -> List[Edge]:
+    """Dense Prim: ``O(n^2)`` time, ``O(n^2)`` space. Any dimension."""
+    n = len(points)
+    if n == 1:
+        return []
+    dm = points.distance_matrix()
+    in_tree = np.zeros(n, dtype=bool)
+    best_dist = np.full(n, np.inf)
+    best_from = np.full(n, -1, dtype=int)
+    in_tree[0] = True
+    best_dist[:] = dm[0]
+    best_from[:] = 0
+    best_dist[0] = np.inf
+    edges: List[Edge] = []
+    for _ in range(n - 1):
+        nxt = int(np.argmin(best_dist))
+        if not np.isfinite(best_dist[nxt]):
+            raise GeometryError("point set is disconnected (non-finite distances)")
+        edges.append((int(best_from[nxt]), nxt))
+        in_tree[nxt] = True
+        best_dist[nxt] = np.inf
+        improve = (dm[nxt] < best_dist) & ~in_tree
+        best_dist[improve] = dm[nxt][improve]
+        best_from[improve] = nxt
+    return edges
+
+
+def mst_edges_kruskal(
+    n: int, edges: Sequence[Tuple[int, int, float]]
+) -> List[Edge]:
+    """Kruskal over an explicit weighted edge list.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    edges:
+        Triples ``(u, v, weight)``.
+
+    Raises :class:`GeometryError` if the edge list does not connect all
+    ``n`` nodes.
+    """
+    order = sorted(range(len(edges)), key=lambda k: (edges[k][2], k))
+    uf = UnionFind(n)
+    result: List[Edge] = []
+    for k in order:
+        u, v, _w = edges[k]
+        if uf.union(int(u), int(v)):
+            result.append((int(u), int(v)))
+            if len(result) == n - 1:
+                return result
+    if n == 1:
+        return []
+    raise GeometryError(
+        f"edge list spans only {n - uf.component_count + 1} merges; graph is disconnected"
+    )
+
+
+def line_mst_edges(points: PointSet) -> List[Edge]:
+    """Exact MST of a 1-D instance: connect sorted neighbours.
+
+    For points on the line the MST is unique (generic positions) and
+    consists of all consecutive pairs — the structure Sections 4 and 5
+    reason about.
+    """
+    if not points.is_line_instance:
+        raise GeometryError("line_mst_edges requires a collinear instance")
+    order = np.argsort(points.coords[:, 0], kind="stable")
+    return [(int(order[k]), int(order[k + 1])) for k in range(len(points) - 1)]
+
+
+def _delaunay_candidate_edges(points: PointSet) -> Optional[List[Tuple[int, int, float]]]:
+    """Candidate edge list from the Delaunay triangulation (contains the
+    Euclidean MST).  Returns ``None`` when scipy is unavailable or the
+    triangulation is degenerate (collinear inputs)."""
+    if points.dimension != 2:
+        return None
+    try:
+        from scipy.spatial import Delaunay  # type: ignore
+    except ImportError:  # pragma: no cover - scipy is present in CI
+        return None
+    try:
+        tri = Delaunay(points.coords)
+    except Exception:
+        return None
+    pairs = set()
+    for simplex in tri.simplices:
+        for a in range(3):
+            for b in range(a + 1, 3):
+                u, v = int(simplex[a]), int(simplex[b])
+                pairs.add((min(u, v), max(u, v)))
+    coords = points.coords
+    return [
+        (u, v, float(np.linalg.norm(coords[u] - coords[v]))) for (u, v) in sorted(pairs)
+    ]
+
+
+def mst_edges(points: PointSet, *, method: str = "auto") -> List[Edge]:
+    """MST edges of a pointset as ``(u, v)`` index pairs.
+
+    ``method``:
+
+    * ``"auto"`` — 1-D exact for line instances, Delaunay+Kruskal for
+      large planar sets when scipy is available, dense Prim otherwise;
+    * ``"prim"``, ``"kruskal-delaunay"``, ``"line"`` — force a method.
+    """
+    n = len(points)
+    if n == 1:
+        return []
+    if method == "line" or (method == "auto" and points.is_line_instance):
+        if points.is_line_instance:
+            return line_mst_edges(points)
+        raise GeometryError("method='line' requires a collinear instance")
+    if method in ("auto", "kruskal-delaunay") and n >= 512:
+        candidates = _delaunay_candidate_edges(points)
+        if candidates is not None:
+            return mst_edges_kruskal(n, candidates)
+        if method == "kruskal-delaunay":
+            raise GeometryError("Delaunay path unavailable (scipy missing or degenerate)")
+    if method == "kruskal-delaunay":
+        candidates = _delaunay_candidate_edges(points)
+        if candidates is None:
+            raise GeometryError("Delaunay path unavailable (scipy missing or degenerate)")
+        return mst_edges_kruskal(n, candidates)
+    if method not in ("auto", "prim"):
+        raise GeometryError(f"unknown MST method {method!r}")
+    return mst_edges_prim(points)
+
+
+def total_weight(points: PointSet, edges: Sequence[Edge]) -> float:
+    """Sum of edge lengths — used by tests to compare MST variants."""
+    return float(sum(points.distance(u, v) for u, v in edges))

@@ -1,0 +1,96 @@
+"""Slow-growing functions used throughout the paper's bounds.
+
+The paper expresses schedule lengths in terms of ``log* Delta`` (the
+iterated logarithm) and ``log log Delta``.  These helpers define those
+functions carefully for the small and fractional arguments that show up
+when instances are tiny.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ilog2",
+    "iterated_log2",
+    "log_star",
+    "loglog",
+    "next_power_of_two",
+    "safe_log2",
+]
+
+
+def safe_log2(x: float) -> float:
+    """Return ``log2(x)`` clamped below at zero.
+
+    Many bound formulas apply ``log`` to ratios that can be exactly one
+    (e.g. ``Delta`` of an equilateral instance); clamping avoids
+    negative "schedule lengths" in predictions.
+    """
+    if x <= 0:
+        raise ConfigurationError(f"log2 argument must be positive, got {x}")
+    return max(0.0, math.log2(x))
+
+
+def ilog2(x: float) -> int:
+    """Integer part of ``log2(x)`` for ``x >= 1``."""
+    if x < 1:
+        raise ConfigurationError(f"ilog2 requires x >= 1, got {x}")
+    return int(math.floor(math.log2(x)))
+
+
+def log_star(x: float, base: float = 2.0) -> int:
+    """Iterated logarithm ``log*``: number of times ``log_base`` must be
+    applied before the value drops to at most 1.
+
+    ``log_star(1) == 0``, ``log_star(2) == 1``, ``log_star(4) == 2``,
+    ``log_star(16) == 3``, ``log_star(65536) == 4``.
+    """
+    if base <= 1:
+        raise ConfigurationError(f"log* base must exceed 1, got {base}")
+    if x < 0:
+        raise ConfigurationError(f"log* argument must be non-negative, got {x}")
+    count = 0
+    value = float(x)
+    while value > 1.0:
+        value = math.log(value, base)
+        count += 1
+        if count > 128:  # unreachable for finite floats; defensive
+            raise ConfigurationError("log* failed to converge")
+    return count
+
+
+def iterated_log2(x: float, times: int) -> float:
+    """Apply ``log2`` exactly ``times`` times (values clamped at 1e-300)."""
+    if times < 0:
+        raise ConfigurationError(f"times must be non-negative, got {times}")
+    value = float(x)
+    for _ in range(times):
+        if value <= 0:
+            raise ConfigurationError("iterated log hit a non-positive value")
+        value = math.log2(value)
+    return value
+
+
+def loglog(x: float) -> float:
+    """``log2(log2(x))`` clamped below at zero; defined for ``x >= 2``.
+
+    For ``x in (0, 2)`` the inner log is below 1 and the result is
+    clamped to zero, which matches the convention that tiny instances
+    have O(1) bounds.
+    """
+    if x <= 0:
+        raise ConfigurationError(f"loglog argument must be positive, got {x}")
+    inner = math.log2(x)
+    if inner <= 1.0:
+        return 0.0
+    return math.log2(inner)
+
+
+def next_power_of_two(x: float) -> int:
+    """Smallest power of two that is >= max(x, 1)."""
+    if x <= 1:
+        return 1
+    return 1 << math.ceil(math.log2(x))

@@ -1,0 +1,29 @@
+"""Link orderings used by the paper's algorithms.
+
+The greedy coloring algorithm processes links in **non-increasing**
+length order (Appendix A), while the distributed protocol sweeps length
+classes from longest to shortest.  Ties are broken by index so orderings
+are deterministic and stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "argsort_by_length_nondecreasing",
+    "argsort_by_length_nonincreasing",
+]
+
+
+def argsort_by_length_nonincreasing(lengths: np.ndarray) -> np.ndarray:
+    """Indices sorting ``lengths`` longest-first (stable on ties)."""
+    lengths = np.asarray(lengths, dtype=float)
+    # Stable sort of -lengths keeps original index order within ties.
+    return np.argsort(-lengths, kind="stable")
+
+
+def argsort_by_length_nondecreasing(lengths: np.ndarray) -> np.ndarray:
+    """Indices sorting ``lengths`` shortest-first (stable on ties)."""
+    lengths = np.asarray(lengths, dtype=float)
+    return np.argsort(lengths, kind="stable")

@@ -1,0 +1,40 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts ``rng`` as either a
+seed, a :class:`numpy.random.Generator`, or ``None`` (fresh entropy),
+and normalises it through :func:`as_generator` so experiments are
+reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["as_generator", "RngLike"]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(rng: RngLike = None) -> np.random.Generator:
+    """Normalise ``rng`` into a :class:`numpy.random.Generator`.
+
+    * ``None``  -> a freshly seeded generator,
+    * ``int``   -> ``np.random.default_rng(seed)``,
+    * generator -> returned unchanged (shared state, by design).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be None, an int seed, or a Generator; got {type(rng)!r}")
+
+
+def spawn(rng: RngLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``."""
+    gen = as_generator(rng)
+    seeds = gen.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

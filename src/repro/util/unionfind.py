@@ -1,0 +1,71 @@
+"""Disjoint-set (union-find) with path compression and union by rank.
+
+Used by the Kruskal MST implementation and by connectivity checks in
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Classic disjoint-set forest over the integers ``0..n-1``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"size must be non-negative, got {n}")
+        self._parent = list(range(n))
+        self._rank = [0] * n
+        self._count = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def component_count(self) -> int:
+        """Number of disjoint components currently represented."""
+        return self._count
+
+    def find(self, x: int) -> int:
+        """Return the canonical representative of ``x``'s component."""
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the components of ``a`` and ``b``.
+
+        Returns ``True`` if a merge happened, ``False`` if they were
+        already in the same component.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are in the same component."""
+        return self.find(a) == self.find(b)
+
+    def components(self) -> dict[int, list[int]]:
+        """Mapping of representative -> sorted members."""
+        groups: dict[int, list[int]] = {}
+        for x in range(len(self._parent)):
+            groups.setdefault(self.find(x), []).append(x)
+        return groups
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(len(self._parent)))

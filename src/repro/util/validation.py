@@ -1,0 +1,38 @@
+"""Small argument-validation helpers shared across subpackages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["check_finite_array", "check_positive", "check_probability"]
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (or non-negative if not strict)."""
+    value = float(value)
+    if strict and value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float, *, open_interval: bool = False) -> float:
+    """Validate that ``value`` lies in [0, 1] (or (0, 1) if open)."""
+    value = float(value)
+    if open_interval:
+        if not 0.0 < value < 1.0:
+            raise ConfigurationError(f"{name} must lie strictly in (0, 1), got {value}")
+    elif not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_finite_array(name: str, array: np.ndarray) -> np.ndarray:
+    """Validate that every entry of ``array`` is finite."""
+    array = np.asarray(array, dtype=float)
+    if not np.all(np.isfinite(array)):
+        raise ConfigurationError(f"{name} contains non-finite entries")
+    return array

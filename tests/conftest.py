@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AggregationTree,
+    LinkSet,
+    PointSet,
+    SINRModel,
+    uniform_square,
+)
+
+
+@pytest.fixture
+def model() -> SINRModel:
+    """Default noiseless physical model (alpha=3, beta=1)."""
+    return SINRModel(alpha=3.0, beta=1.0)
+
+
+@pytest.fixture
+def noisy_model() -> SINRModel:
+    """A model with ambient noise, for interference-limited checks."""
+    return SINRModel(alpha=3.0, beta=1.0, noise=1e-6, epsilon=0.5)
+
+
+@pytest.fixture
+def square_points() -> PointSet:
+    """40 uniform points in the unit square (seeded)."""
+    return uniform_square(40, rng=123)
+
+
+@pytest.fixture
+def square_tree(square_points: PointSet) -> AggregationTree:
+    """MST of the random square, rooted at node 0."""
+    return AggregationTree.mst(square_points, sink=0)
+
+
+@pytest.fixture
+def square_links(square_tree: AggregationTree) -> LinkSet:
+    """Convergecast links of the random square MST."""
+    return square_tree.links()
+
+
+@pytest.fixture
+def two_parallel_links() -> LinkSet:
+    """Two well-separated unit links (feasible together under any
+    sensible parameters)."""
+    return LinkSet(
+        senders=np.array([[0.0, 0.0], [0.0, 100.0]]),
+        receivers=np.array([[1.0, 0.0], [1.0, 100.0]]),
+    )
+
+
+@pytest.fixture
+def two_close_links() -> LinkSet:
+    """Two crossing unit links whose senders sit right next to each
+    other's receivers: infeasible under *any* power assignment for
+    beta >= 1 (the affectance product exceeds one)."""
+    return LinkSet(
+        senders=np.array([[0.0, 0.0], [1.2, 0.0]]),
+        receivers=np.array([[1.0, 0.0], [0.2, 0.0]]),
+    )
+
+
+@pytest.fixture
+def line_points_small() -> PointSet:
+    """Five collinear points with growing gaps."""
+    return PointSet(np.array([0.0, 1.0, 3.0, 7.0, 15.0]).reshape(-1, 1))

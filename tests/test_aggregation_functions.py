@@ -1,0 +1,75 @@
+"""Tests for aggregation functions (monoid structure)."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.functions import (
+    COUNT,
+    MAX,
+    MEAN,
+    MIN,
+    SUM,
+    AggregationFunction,
+    threshold_count,
+)
+
+
+class TestReferenceEvaluation:
+    def test_sum(self):
+        assert SUM.aggregate([1.0, 2.0, 3.5]) == pytest.approx(6.5)
+
+    def test_max_min(self):
+        data = [3.0, -1.0, 7.0]
+        assert MAX.aggregate(data) == 7.0
+        assert MIN.aggregate(data) == -1.0
+
+    def test_count(self):
+        assert COUNT.aggregate([5.0, 5.0, 5.0]) == 3
+
+    def test_mean(self):
+        assert MEAN.aggregate([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_threshold_count(self):
+        f = threshold_count(2.5)
+        assert f.aggregate([1.0, 2.0, 3.0, 4.0]) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SUM.aggregate([])
+
+
+class TestMonoidLaws:
+    @pytest.mark.parametrize("func", [SUM, MAX, MIN, COUNT, MEAN], ids=lambda f: f.name)
+    def test_associative_commutative(self, func: AggregationFunction):
+        rng = np.random.default_rng(0)
+        values = [func.lift(float(v)) for v in rng.uniform(-10, 10, size=5)]
+        a, b, c = values[0], values[1], values[2]
+        assert func.combine(func.combine(a, b), c) == func.combine(
+            a, func.combine(b, c)
+        )
+        assert func.combine(a, b) == func.combine(b, a)
+
+    @pytest.mark.parametrize("func", [SUM, MAX, MIN, COUNT, MEAN], ids=lambda f: f.name)
+    def test_tree_order_independence(self, func: AggregationFunction):
+        """In-network aggregation in any combination order must match
+        the centralised reference — the property the simulator relies on."""
+        rng = np.random.default_rng(1)
+        readings = rng.uniform(0, 100, size=9).tolist()
+        reference = func.aggregate(readings)
+        # Combine as a skewed tree.
+        acc = func.lift(readings[0])
+        for r in readings[1:]:
+            acc = func.combine(acc, func.lift(r))
+        skewed = func.finalize(acc)
+        # Combine as a balanced tree.
+        layer = [func.lift(r) for r in readings]
+        while len(layer) > 1:
+            nxt = []
+            for i in range(0, len(layer) - 1, 2):
+                nxt.append(func.combine(layer[i], layer[i + 1]))
+            if len(layer) % 2:
+                nxt.append(layer[-1])
+            layer = nxt
+        balanced = func.finalize(layer[0])
+        assert skewed == pytest.approx(reference)
+        assert balanced == pytest.approx(reference)

@@ -1,0 +1,134 @@
+"""Tests for run_convergecast, the protocol API and the median driver."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.convergecast import run_convergecast
+from repro.aggregation.median import median_via_counting
+from repro.core.capacity import compare_power_modes
+from repro.core.protocol import AggregationProtocol
+from repro.core.theory import (
+    predicted_slots,
+    predicted_slots_global,
+    predicted_slots_oblivious,
+)
+from repro.errors import SimulationError
+from repro.geometry.generators import uniform_square
+from repro.scheduling.builder import PowerMode
+
+
+class TestRunConvergecast:
+    def test_without_simulation(self, model, square_points):
+        result = run_convergecast(square_points, model=model)
+        assert result.simulation is None
+        assert result.num_slots >= 1
+        assert result.rate == pytest.approx(1.0 / result.num_slots)
+
+    def test_with_simulation(self, model, square_points):
+        result = run_convergecast(square_points, model=model, num_frames=5)
+        assert result.simulation is not None
+        assert result.simulation.stable
+
+    def test_summary_contains_key_facts(self, model, square_points):
+        result = run_convergecast(square_points, model=model, num_frames=3)
+        text = result.summary()
+        assert "slots=" in text and "simulated:" in text
+
+    def test_custom_sink(self, model, square_points):
+        result = run_convergecast(square_points, sink=7, model=model)
+        assert result.tree.sink == 7
+
+
+class TestAggregationProtocol:
+    def test_build_returns_prediction(self, model, square_points):
+        result = AggregationProtocol("global", model=model).build(square_points)
+        assert result.predicted_slots >= 1.0
+        assert result.slots_vs_prediction == pytest.approx(
+            result.measured_slots / result.predicted_slots
+        )
+
+    def test_mode_forwarded(self, model, square_points):
+        proto = AggregationProtocol("oblivious", model=model, tau=0.5)
+        result = proto.build(square_points)
+        assert result.convergecast.report.mode is PowerMode.OBLIVIOUS
+
+    def test_summary(self, model, square_points):
+        result = AggregationProtocol("global", model=model).build(square_points)
+        assert "predicted" in result.summary()
+
+    def test_custom_constants(self, model, square_points):
+        proto = AggregationProtocol("global", model=model, gamma=2.0)
+        assert proto.builder.gamma == 2.0
+
+
+class TestTheory:
+    def test_global_prediction_is_log_star(self):
+        assert predicted_slots_global(65536.0) == 4.0
+        assert predicted_slots_global(1.0) == 1.0  # clamped
+
+    def test_oblivious_prediction_is_loglog(self):
+        assert predicted_slots_oblivious(256.0) == pytest.approx(3.0)
+
+    def test_dispatch(self):
+        assert predicted_slots("global", 16.0, 100) == predicted_slots_global(16.0)
+        assert predicted_slots("oblivious", 16.0, 100) == predicted_slots_oblivious(16.0)
+        assert predicted_slots("uniform", 16.0, 1024) == pytest.approx(10.0)
+
+
+class TestCompare:
+    def test_all_strategies_present(self, model, square_points):
+        comparison = compare_power_modes(square_points, model=model)
+        names = {o.strategy for o in comparison.outcomes}
+        assert names == {"global", "oblivious", "uniform-greedy", "linear-greedy", "tdma"}
+
+    def test_tdma_is_n_minus_one(self, model, square_points):
+        comparison = compare_power_modes(square_points, model=model)
+        assert comparison.by_strategy()["tdma"].slots == len(square_points) - 1
+
+    def test_table_renders(self, model, square_points):
+        table = compare_power_modes(square_points, model=model).table()
+        assert "strategy" in table and "global" in table
+
+    def test_skip_baselines(self, model, square_points):
+        comparison = compare_power_modes(
+            square_points, model=model, include_baselines=False
+        )
+        assert len(comparison.outcomes) == 2
+
+
+class TestMedian:
+    def test_with_direct_runner(self):
+        readings = [5.0, 1.0, 9.0, 3.0, 7.0]
+        values = np.asarray(readings)
+        result = median_via_counting(
+            readings, runner=lambda t: int((values > t).sum())
+        )
+        assert result.median == pytest.approx(5.0)
+
+    def test_through_simulator(self, model, square_points):
+        conv = run_convergecast(square_points, model=model)
+        rng = np.random.default_rng(3)
+        readings = rng.uniform(0, 50, size=len(square_points))
+        result = median_via_counting(
+            readings, tree=conv.tree, schedule=conv.schedule, tolerance=1e-3
+        )
+        lower_median = float(np.sort(readings)[(len(readings) - 1) // 2])
+        assert result.median == pytest.approx(lower_median)
+        assert result.slots_used > 0
+        assert result.probes >= 2
+
+    def test_even_count_gives_lower_median(self):
+        readings = [1.0, 2.0, 3.0, 4.0]
+        values = np.asarray(readings)
+        result = median_via_counting(
+            readings, runner=lambda t: int((values > t).sum())
+        )
+        assert result.median in (2.0, 3.0)  # a reading near the median cut
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            median_via_counting([], runner=lambda t: 0)
+
+    def test_requires_runner_or_pair(self):
+        with pytest.raises(SimulationError):
+            median_via_counting([1.0, 2.0])

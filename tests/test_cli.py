@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_schedule_defaults(self):
+        args = build_parser().parse_args(["schedule"])
+        assert args.n == 100 and args.mode == "global"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "--mode", "psychic"])
+
+
+class TestMain:
+    def test_schedule_command(self, capsys):
+        assert main(["schedule", "--n", "30", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "slots=" in out and "predicted" in out
+
+    def test_simulate_command(self, capsys):
+        assert main(["simulate", "--n", "20", "--frames", "3", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated:" in out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--n", "15", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy" in out and "tdma" in out
+
+    def test_compare_no_baselines(self, capsys):
+        assert main(["compare", "--n", "15", "--no-baselines"]) == 0
+        out = capsys.readouterr().out
+        assert "tdma" not in out
+
+    def test_topologies(self, capsys):
+        for topo in ("disk", "grid", "clusters", "exponential"):
+            n = "12" if topo == "exponential" else "16"
+            assert main(["schedule", "--n", n, "--topology", topo]) == 0
+
+    def test_oblivious_mode(self, capsys):
+        assert main(["schedule", "--n", "20", "--mode", "oblivious"]) == 0
+        assert "oblivious" in capsys.readouterr().out
+
+    def test_custom_model_params(self, capsys):
+        assert main(["schedule", "--n", "20", "--alpha", "4.0", "--beta", "2.0"]) == 0

@@ -1,0 +1,48 @@
+"""Tests for the experiment registry and its CLI wiring."""
+
+import pytest
+
+from repro.core.experiments import EXPERIMENTS, list_experiments, run_experiment
+from repro.errors import ConfigurationError
+from repro.cli import main
+
+
+class TestRegistry:
+    def test_all_ids_listed(self):
+        ids = list_experiments()
+        assert {"FIG1", "THM1", "THM2", "FIG2", "FIG3", "FIG4", "BASE", "OPT"} <= set(ids)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("FIG99")
+
+    def test_case_insensitive(self):
+        assert "FIG2" in run_experiment("fig2")
+
+    @pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+    def test_every_experiment_runs(self, exp_id, model):
+        report = run_experiment(exp_id, model)
+        assert exp_id in report
+        assert len(report.splitlines()) >= 1
+
+    def test_fig1_reports_paper_numbers(self, model):
+        report = run_experiment("FIG1", model)
+        assert "rate=0.50" in report and "latency=3" in report
+
+    def test_fig2_reports_zero_feasible(self, model):
+        report = run_experiment("FIG2", model)
+        assert "feasible=0" in report
+
+
+class TestCliExperiment:
+    def test_list(self, capsys):
+        assert main(["experiment"]) == 0
+        assert "FIG1" in capsys.readouterr().out
+
+    def test_run_one(self, capsys):
+        assert main(["experiment", "THM2"]) == 0
+        assert "chi(G1" in capsys.readouterr().out
+
+    def test_custom_model(self, capsys):
+        assert main(["experiment", "FIG2", "--alpha", "3.5"]) == 0
+        assert "feasible=0" in capsys.readouterr().out

@@ -1,0 +1,85 @@
+"""Tests for length diversity and distance helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.distances import cross_distances, pairwise_distances
+from repro.geometry.diversity import (
+    length_diversity,
+    link_length_diversity,
+    min_max_distances,
+)
+from repro.geometry.point import PointSet
+
+
+class TestPairwiseDistances:
+    def test_matches_manual(self):
+        coords = np.array([[0.0, 0.0], [3.0, 4.0], [0.0, 1.0]])
+        dm = pairwise_distances(coords)
+        assert dm[0, 1] == pytest.approx(5.0)
+        assert dm[0, 2] == pytest.approx(1.0)
+
+    def test_huge_magnitudes_retain_precision(self):
+        # The Gram-matrix trick would collapse here; differences don't.
+        coords = np.array([[0.0], [1e150], [1e150 + 1e140]])
+        dm = pairwise_distances(coords)
+        # Input representation limits accuracy to ~1e-7 relative here;
+        # the Gram trick would return 0 or NaN outright.
+        assert dm[1, 2] == pytest.approx(1e140, rel=1e-6)
+
+    def test_rejects_1d(self):
+        with pytest.raises(GeometryError):
+            pairwise_distances(np.array([1.0, 2.0]))
+
+
+class TestCrossDistances:
+    def test_shape_and_values(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0], [0.0, 2.0]])
+        d = cross_distances(a, b)
+        assert d.shape == (1, 2)
+        assert d[0, 0] == pytest.approx(5.0)
+        assert d[0, 1] == pytest.approx(2.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(GeometryError):
+            cross_distances(np.zeros((1, 2)), np.zeros((1, 3)))
+
+
+class TestDiversity:
+    def test_min_max(self):
+        ps = PointSet([0.0, 1.0, 4.0])
+        dmin, dmax = min_max_distances(ps)
+        assert dmin == pytest.approx(1.0)
+        assert dmax == pytest.approx(4.0)
+
+    def test_length_diversity(self):
+        ps = PointSet([0.0, 1.0, 4.0])
+        assert length_diversity(ps) == pytest.approx(4.0)
+
+    def test_equilateral_diversity_one(self):
+        h = np.sqrt(3.0) / 2.0
+        ps = PointSet([[0.0, 0.0], [1.0, 0.0], [0.5, h]])
+        assert length_diversity(ps) == pytest.approx(1.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(GeometryError):
+            length_diversity(PointSet([[0.0, 0.0]]))
+
+    def test_scale_invariant(self):
+        ps = PointSet([[0.0, 0.0], [1.0, 0.0], [5.0, 2.0]])
+        assert length_diversity(ps.scaled(13.0)) == pytest.approx(length_diversity(ps))
+
+
+class TestLinkLengthDiversity:
+    def test_basic(self):
+        assert link_length_diversity(np.array([1.0, 2.0, 8.0])) == pytest.approx(8.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(GeometryError):
+            link_length_diversity(np.array([]))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(GeometryError):
+            link_length_diversity(np.array([0.0, 1.0]))

@@ -1,0 +1,125 @@
+"""Tests for the instance generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.generators import (
+    cluster_points,
+    exponential_line,
+    grid_points,
+    line_points,
+    poisson_points,
+    uniform_disk,
+    uniform_square,
+)
+
+
+class TestUniformSquare:
+    def test_count_and_bounds(self):
+        ps = uniform_square(50, side=2.0, rng=0)
+        assert len(ps) == 50
+        assert np.all(ps.coords >= 0.0) and np.all(ps.coords <= 2.0)
+
+    def test_reproducible(self):
+        assert uniform_square(10, rng=5) == uniform_square(10, rng=5)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            uniform_square(0)
+        with pytest.raises(ConfigurationError):
+            uniform_square(10, side=-1.0)
+
+
+class TestUniformDisk:
+    def test_inside_radius(self):
+        ps = uniform_disk(200, radius=3.0, rng=1)
+        norms = np.linalg.norm(ps.coords, axis=1)
+        assert np.all(norms <= 3.0 + 1e-12)
+
+    def test_area_uniformity(self):
+        # Roughly half the points should fall inside r/sqrt(2).
+        ps = uniform_disk(4000, radius=1.0, rng=2)
+        inner = np.linalg.norm(ps.coords, axis=1) <= 1.0 / np.sqrt(2.0)
+        assert 0.42 <= inner.mean() <= 0.58
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ConfigurationError):
+            uniform_disk(10, radius=0.0)
+
+
+class TestGrid:
+    def test_shape(self):
+        ps = grid_points(3, 4, spacing=2.0)
+        assert len(ps) == 12
+        assert ps.closest_pair_distance() == pytest.approx(2.0)
+
+    def test_diameter(self):
+        ps = grid_points(2, 2, spacing=1.0)
+        assert ps.diameter() == pytest.approx(np.sqrt(2.0))
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ConfigurationError):
+            grid_points(2, 2, spacing=0.0)
+
+
+class TestLinePoints:
+    def test_sorted_by_default(self):
+        ps = line_points([3.0, 1.0, 2.0])
+        assert ps.coords.ravel().tolist() == [1.0, 2.0, 3.0]
+
+    def test_unsorted_kept(self):
+        ps = line_points([3.0, 1.0], sort=False)
+        assert ps.coords.ravel().tolist() == [3.0, 1.0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            line_points([])
+
+
+class TestExponentialLine:
+    def test_gaps_double(self):
+        ps = exponential_line(5, base=2.0, start=1.0)
+        gaps = np.diff(ps.coords.ravel())
+        assert gaps.tolist() == [1.0, 2.0, 4.0, 8.0]
+
+    def test_diversity_grows(self):
+        small = exponential_line(5)
+        big = exponential_line(10)
+        from repro.geometry.diversity import length_diversity
+
+        assert length_diversity(big) > length_diversity(small)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exponential_line(3000, base=2.0)
+
+    def test_rejects_base_at_most_one(self):
+        with pytest.raises(ConfigurationError):
+            exponential_line(5, base=1.0)
+
+
+class TestPoisson:
+    def test_min_points_respected(self):
+        ps = poisson_points(50.0, rng=3, min_points=5)
+        assert len(ps) >= 5
+
+    def test_rejects_bad_intensity(self):
+        with pytest.raises(ConfigurationError):
+            poisson_points(0.0)
+
+
+class TestClusters:
+    def test_count(self):
+        ps = cluster_points(4, 5, rng=0)
+        assert len(ps) == 20
+
+    def test_clustered_structure(self):
+        # Tight clusters far apart: nearest-neighbour distance much
+        # smaller than the diameter.
+        ps = cluster_points(5, 10, cluster_std=1e-4, side=10.0, rng=1)
+        assert ps.diameter() / ps.closest_pair_distance() > 100
+
+    def test_rejects_bad_std(self):
+        with pytest.raises(ConfigurationError):
+            cluster_points(2, 2, cluster_std=0.0)

@@ -1,0 +1,127 @@
+"""Tests for PointSet."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import PointSet
+
+
+class TestConstruction:
+    def test_2d(self):
+        ps = PointSet([[0.0, 0.0], [1.0, 0.0]])
+        assert len(ps) == 2
+        assert ps.dimension == 2
+
+    def test_1d_normalised(self):
+        ps = PointSet([0.0, 1.0, 2.0])
+        assert ps.dimension == 1
+        assert ps.coords.shape == (3, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(GeometryError):
+            PointSet(np.empty((0, 2)))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(GeometryError):
+            PointSet([[0.0, 0.0], [0.0, 0.0]])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(GeometryError):
+            PointSet([[0.0, 0.0], [np.inf, 1.0]])
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(GeometryError):
+            PointSet(np.zeros((2, 5)))
+
+    def test_coords_read_only(self):
+        ps = PointSet([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(ValueError):
+            ps.coords[0, 0] = 5.0
+
+    def test_duplicate_detection_nonadjacent(self):
+        # Duplicates that are not adjacent in input order.
+        with pytest.raises(GeometryError):
+            PointSet([[0.0, 0.0], [1.0, 1.0], [0.0, 0.0]])
+
+
+class TestGeometry:
+    def test_distance(self):
+        ps = PointSet([[0.0, 0.0], [3.0, 4.0]])
+        assert ps.distance(0, 1) == pytest.approx(5.0)
+
+    def test_distance_matrix_symmetric(self):
+        ps = PointSet([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]])
+        dm = ps.distance_matrix()
+        assert np.allclose(dm, dm.T)
+        assert np.all(np.diag(dm) == 0)
+
+    def test_distance_matrix_cached(self):
+        ps = PointSet([[0.0, 0.0], [1.0, 0.0]])
+        assert ps.distance_matrix() is ps.distance_matrix()
+
+    def test_diameter_and_closest_pair(self):
+        ps = PointSet([0.0, 1.0, 10.0])
+        assert ps.diameter() == pytest.approx(10.0)
+        assert ps.closest_pair_distance() == pytest.approx(1.0)
+
+    def test_single_point_degenerate(self):
+        ps = PointSet([[0.0, 0.0]])
+        assert ps.diameter() == 0.0
+        assert ps.closest_pair_distance() == 0.0
+
+    def test_is_line_instance(self):
+        assert PointSet([0.0, 1.0]).is_line_instance
+        assert PointSet([[0.0, 5.0], [1.0, 5.0]]).is_line_instance
+        assert not PointSet([[0.0, 0.0], [1.0, 1.0], [2.0, 0.0]]).is_line_instance
+
+
+class TestTransforms:
+    def test_translated(self):
+        ps = PointSet([[0.0, 0.0], [1.0, 0.0]]).translated([2.0, 3.0])
+        assert np.allclose(ps.coords, [[2.0, 3.0], [3.0, 3.0]])
+
+    def test_translated_dimension_mismatch(self):
+        with pytest.raises(GeometryError):
+            PointSet([0.0, 1.0]).translated([1.0, 2.0])
+
+    def test_scaled(self):
+        ps = PointSet([[1.0, 2.0], [3.0, 4.0]]).scaled(2.0)
+        assert np.allclose(ps.coords, [[2.0, 4.0], [6.0, 8.0]])
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(GeometryError):
+            PointSet([0.0, 1.0]).scaled(0.0)
+
+    def test_scaling_preserves_distance_ratios(self):
+        ps = PointSet([[0.0, 0.0], [1.0, 0.0], [0.0, 3.0]])
+        scaled = ps.scaled(7.0)
+        assert scaled.distance(0, 2) / scaled.distance(0, 1) == pytest.approx(
+            ps.distance(0, 2) / ps.distance(0, 1)
+        )
+
+    def test_concatenate(self):
+        a = PointSet([[0.0, 0.0]])
+        b = PointSet([[1.0, 1.0]])
+        ab = PointSet.concatenate(a, b)
+        assert len(ab) == 2
+
+    def test_concatenate_rejects_overlap(self):
+        a = PointSet([[0.0, 0.0]])
+        with pytest.raises(GeometryError):
+            PointSet.concatenate(a, a)
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        a = PointSet([[0.0, 0.0], [1.0, 0.0]])
+        b = PointSet([[0.0, 0.0], [1.0, 0.0]])
+        c = PointSet([[0.0, 0.0], [2.0, 0.0]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_iteration_and_indexing(self):
+        ps = PointSet([[0.0, 0.0], [1.0, 2.0]])
+        rows = list(ps)
+        assert np.allclose(rows[1], ps[1])

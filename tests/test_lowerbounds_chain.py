@@ -1,0 +1,136 @@
+"""Tests for the Section 4.1 doubly-exponential chain."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ConstructionError
+from repro.lowerbounds.oblivious_chain import DoublyExponentialChain
+from repro.lowerbounds.verify import pairwise_infeasibility_report
+from repro.power.oblivious import ObliviousPower
+from repro.sinr.model import SINRModel
+from repro.spanning.tree import AggregationTree
+
+
+class TestConstruction:
+    def test_gap_growth(self, model):
+        chain = DoublyExponentialChain(5, 0.5, model=model, base=4.0)
+        # tau' = 1/2: log-gaps are (2^t) * ln 4.
+        for t in range(4):
+            assert chain.log_gap(t) == pytest.approx(2**t * math.log(4.0))
+
+    def test_positions_match_log_gaps(self, model):
+        chain = DoublyExponentialChain(5, 0.5, model=model, base=4.0)
+        pos = chain.positions()
+        gaps = np.diff(pos)
+        for t, g in enumerate(gaps):
+            assert math.log(g) == pytest.approx(chain.log_gap(t))
+
+    def test_overflow_raises_concrete_path(self, model):
+        chain = DoublyExponentialChain(16, 0.5, model=model, base=4.0)
+        with pytest.raises(ConstructionError):
+            chain.positions()
+
+    def test_log_distance_dominated_by_largest_gap(self, model):
+        chain = DoublyExponentialChain(8, 0.5, model=model, base=4.0)
+        # Distance 0 -> 7 is within a factor 2 of the last gap.
+        d = chain.log_distance(0, 7)
+        assert chain.log_gap(6) <= d <= chain.log_gap(6) + math.log(2.0)
+
+    def test_log_distance_concrete_agreement(self, model):
+        chain = DoublyExponentialChain(6, 0.5, model=model, base=4.0)
+        pos = chain.positions()
+        for a in range(6):
+            for b in range(a + 1, 6):
+                assert chain.log_distance(a, b) == pytest.approx(
+                    math.log(pos[b] - pos[a]), rel=1e-12
+                )
+
+    def test_recommended_base_exceeds_proof_threshold(self, model):
+        for tau in (0.2, 0.5, 0.8):
+            base = DoublyExponentialChain.recommended_base(tau, model)
+            tau_prime = min(tau, 1 - tau)
+            threshold = (2.0 * model.beta ** (-1 / model.alpha)) ** (1 / tau_prime)
+            assert base > max(2.0, threshold)
+
+    def test_max_safe_levels(self, model):
+        n = DoublyExponentialChain.max_safe_levels(0.5, 4.0)
+        DoublyExponentialChain(n, 0.5, model=model, base=4.0).positions()
+        with pytest.raises(ConstructionError):
+            DoublyExponentialChain(n + 1, 0.5, model=model, base=4.0).positions()
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            DoublyExponentialChain(1, 0.5, model=model)
+        with pytest.raises(ConfigurationError):
+            DoublyExponentialChain(5, 0.0, model=model)
+        with pytest.raises(ConfigurationError):
+            DoublyExponentialChain(5, 0.5, model=model, base=1.5)
+
+
+class TestPropositionOne:
+    @pytest.mark.parametrize("tau", [0.25, 0.5, 0.75])
+    def test_no_feasible_pair_logspace(self, model, tau):
+        chain = DoublyExponentialChain(7, tau, model=model)
+        verdict = chain.verify_pairwise_infeasible()
+        assert verdict.holds
+        assert verdict.pairs_checked > 0
+
+    def test_logspace_matches_concrete_oracle(self, model):
+        """The log-space pair check must agree with the float SINR
+        oracle wherever both are computable."""
+        from repro.links.linkset import LinkSet
+        from repro.sinr.feasibility import is_feasible_with_power
+
+        chain = DoublyExponentialChain(5, 0.5, model=model, base=4.0)
+        pos = chain.positions()
+        scheme = ObliviousPower(0.5, model.alpha)
+        points = pos.reshape(-1, 1)
+        candidates = [(0, 1), (2, 3), (1, 3), (3, 4)]
+        import itertools
+
+        for la, lb in itertools.combinations(candidates, 2):
+            if len({*la, *lb}) < 4:
+                continue
+            links = LinkSet(
+                senders=points[[la[0], lb[0]]],
+                receivers=points[[la[1], lb[1]]],
+            )
+            concrete = is_feasible_with_power(
+                links, scheme.powers(links), model, [0, 1]
+            )
+            assert chain.pair_feasible(la, lb) == concrete
+
+    def test_forced_rate(self, model):
+        chain = DoublyExponentialChain(9, 0.5, model=model)
+        assert chain.forced_rate() == pytest.approx(1.0 / 8.0)
+
+    def test_n_scales_with_loglog_delta(self, model):
+        """n = Theta(log log Delta): the ratio n / loglog(Delta) stays
+        bounded as n grows."""
+        ratios = []
+        for n in (6, 12, 24, 48):
+            chain = DoublyExponentialChain(n, 0.5, model=model)
+            ratios.append(n / chain.loglog_diversity)
+        assert max(ratios) / min(ratios) < 2.5
+
+    def test_mst_schedule_is_sequential_under_ptau(self, model):
+        """End-to-end: scheduling the chain's MST under P_tau yields one
+        link per slot, i.e. the trivial rate."""
+        from repro.scheduling.baselines import greedy_sinr_schedule
+
+        chain = DoublyExponentialChain(6, 0.5, model=model, base=4.0)
+        tree = AggregationTree.mst(chain.pointset(), sink=0)
+        links = tree.links()
+        scheme = ObliviousPower(0.5, model.alpha)
+        schedule = greedy_sinr_schedule(links, scheme, model)
+        assert schedule.num_slots == len(links)
+
+    def test_report_helper_agrees(self, model):
+        chain = DoublyExponentialChain(6, 0.5, model=model, base=4.0)
+        tree = AggregationTree.mst(chain.pointset(), sink=0)
+        links = tree.links()
+        scheme = ObliviousPower(0.5, model.alpha)
+        report = pairwise_infeasibility_report(links, scheme, model)
+        assert report.all_infeasible

@@ -1,0 +1,104 @@
+"""Tests for the Section 4.2 recursive R_t construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lowerbounds.logstar_instance import RecursiveLogStarInstance
+from repro.util.mathx import log_star
+
+
+class TestConstruction:
+    def test_r1_is_unit_pair(self, model):
+        inst = RecursiveLogStarInstance(1, model=model)
+        assert np.allclose(inst.positions, [0.0, 1.0])
+
+    def test_r2_structure(self, model):
+        inst = RecursiveLogStarInstance(2, model=model, c=8.0, max_copies=None)
+        # rho(R_1) = 1 -> k_2 = 8 copies with doubling gaps, plus G.
+        gaps = np.diff(inst.positions)
+        assert inst.copy_counts == [8]
+        # Copy gaps: 1, 1, 2, 4, ..., 2^6; G spans the sum.
+        assert gaps[1:].tolist() == [1.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+        assert gaps[0] == pytest.approx(gaps[1:].sum())
+
+    def test_sorted_positions(self, model):
+        inst = RecursiveLogStarInstance(3, model=model, max_copies=6)
+        assert np.all(np.diff(inst.positions) > 0)
+
+    def test_copy_counts_capped(self, model):
+        inst = RecursiveLogStarInstance(3, model=model, max_copies=5)
+        assert all(k <= 5 for k in inst.copy_counts)
+        assert inst.true_top_level_copy_count() > 5
+
+    def test_diversity_explodes_with_t(self, model):
+        d2 = RecursiveLogStarInstance(2, model=model, max_copies=8).diversity
+        d3 = RecursiveLogStarInstance(3, model=model, max_copies=8).diversity
+        assert d3 > d2**1.5
+
+    def test_logstar_growth(self, model):
+        """t = Omega(log* Delta): log*(Delta(R_t)) grows by at most ~1
+        per level."""
+        for t in (2, 3):
+            inst = RecursiveLogStarInstance(t, model=model, max_copies=8)
+            assert log_star(inst.diversity) <= t + 3
+
+    def test_predicted_rate(self, model):
+        assert RecursiveLogStarInstance(3, model=model).predicted_rate_bound() == pytest.approx(0.5)
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            RecursiveLogStarInstance(0, model=model)
+        with pytest.raises(ConfigurationError):
+            RecursiveLogStarInstance(2, c=1.0, model=model)
+
+
+class TestCopyLabels:
+    def test_labels_cover_links(self, model):
+        inst = RecursiveLogStarInstance(2, model=model, max_copies=8)
+        labels = inst.copy_index_of_link()
+        assert len(labels) == len(inst.positions) - 1
+        assert (labels == -1).sum() == 1  # exactly one long link
+        assert set(labels.tolist()) == {-1, *range(8)}
+
+    def test_long_link_is_longest_gap(self, model):
+        inst = RecursiveLogStarInstance(2, model=model, max_copies=8)
+        gaps = np.diff(inst.positions)
+        labels = inst.copy_index_of_link()
+        long_gap = int(np.flatnonzero(labels == -1)[0])
+        assert gaps[long_gap] == pytest.approx(gaps.max())
+
+
+class TestClaimOne:
+    def test_holds_uncapped_level_two(self, model):
+        inst = RecursiveLogStarInstance(2, model=model, c=8.0, max_copies=None)
+        report = inst.verify_claim_one()
+        assert not report.capped
+        assert report.holds
+        assert report.max_copies_with_long_link <= 4
+
+    def test_level_three_capped_flagged(self, model):
+        inst = RecursiveLogStarInstance(3, model=model, max_copies=6)
+        report = inst.verify_claim_one()
+        assert report.capped
+        assert report.true_copy_count > report.num_copies_built
+        assert report.holds  # trivially, and recorded as capped
+
+    def test_needs_t_at_least_two(self, model):
+        with pytest.raises(ConfigurationError):
+            RecursiveLogStarInstance(1, model=model).verify_claim_one()
+
+
+class TestScheduleGrowth:
+    def test_mst_slots_grow_with_t(self, model):
+        """The instance family stresses even global power control: the
+        certified schedule length increases with recursion depth."""
+        from repro.scheduling.builder import ScheduleBuilder
+
+        slots = []
+        for t in (1, 2, 3):
+            inst = RecursiveLogStarInstance(t, model=model, max_copies=8)
+            links = inst.mst_tree().links()
+            slots.append(ScheduleBuilder(model, "global").build(links).num_slots)
+        assert slots[0] <= slots[1] <= slots[2]
+        assert slots[2] >= 3

@@ -1,0 +1,97 @@
+"""Tests for the Section 5 MST-suboptimality family (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lowerbounds.mst_suboptimal import MstSuboptimalFamily
+from repro.lowerbounds.verify import max_feasible_set_size
+
+
+class TestConstruction:
+    def test_eight_nodes_for_three_levels(self, model):
+        fam = MstSuboptimalFamily(0.3, levels=3, model=model)
+        assert fam.num_nodes == 8
+
+    def test_link_lengths_follow_recurrence(self, model):
+        fam = MstSuboptimalFamily(0.3, levels=3, model=model)
+        links = fam.custom_tree_links()
+        lengths = links.lengths
+        # Long links: l_{m+1} = l_m^(1/tau).
+        for m in range(3):
+            assert lengths[m + 1] == pytest.approx(lengths[m] ** (1 / 0.3), rel=1e-9)
+
+    def test_spanning_tree(self, model):
+        fam = MstSuboptimalFamily(0.3, levels=3, model=model)
+        links = fam.custom_tree_links()
+        # 7 links over 8 nodes touching every node: a spanning tree.
+        nodes = set(links.sender_ids.tolist()) | set(links.receiver_ids.tolist())
+        assert len(links) == 7
+        assert nodes == set(range(8))
+
+    def test_domain_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            MstSuboptimalFamily(0.5, model=model)
+        with pytest.raises(ConfigurationError):
+            MstSuboptimalFamily(0.3, levels=0, model=model)
+
+    def test_mirrored_lengths(self, model):
+        fam = MstSuboptimalFamily(0.7, levels=2, model=model)
+        lengths = fam.custom_tree_links().lengths
+        assert lengths[1] == pytest.approx(lengths[0] ** (1 / 0.3), rel=1e-9)
+
+
+class TestClaimTwo:
+    @pytest.mark.parametrize("tau", [0.25, 0.3, 1 / 3])
+    def test_holds_in_verified_regime(self, model, tau):
+        fam = MstSuboptimalFamily(tau, levels=3, model=model)
+        report = fam.verify()
+        assert report.holds
+        assert report.custom_tree_slots == 2
+        assert report.mst_slots_lower_bound >= fam.num_nodes - 2
+
+    def test_mirrored_holds(self, model):
+        report = MstSuboptimalFamily(0.7, levels=3, model=model).verify()
+        assert report.holds
+
+    def test_paper_boundary_discrepancy(self, model):
+        """Documented deviation: at tau = 2/5 the paper's gamma exponent
+        is negative and the short set is genuinely P_tau-infeasible."""
+        fam = MstSuboptimalFamily(0.4, levels=3, model=model)
+        assert fam.claim_two_gamma() < 0
+        report = fam.verify()
+        assert report.long_set_feasible
+        assert not report.short_set_feasible
+
+    def test_gamma_sign_flip(self, model):
+        inside = MstSuboptimalFamily(0.3, model=model).claim_two_gamma()
+        outside = MstSuboptimalFamily(0.4, model=model).claim_two_gamma()
+        assert inside > 0 > outside
+
+
+class TestMstPenalty:
+    def test_mst_needs_linear_slots(self, model):
+        """The MST's doubly-exponential subchain is pairwise infeasible
+        under P_tau, so the MST cannot beat Theta(n) slots while the
+        custom tree uses 2."""
+        fam = MstSuboptimalFamily(0.3, levels=3, model=model)
+        report = fam.verify()
+        assert report.mst_slots_lower_bound >= 6
+        assert report.custom_tree_slots == 2
+
+    def test_custom_tree_max_feasible_sets(self, model):
+        """Exact check: the largest P_tau-feasible subset of the custom
+        tree has size >= levels (the long set), so two slots suffice."""
+        fam = MstSuboptimalFamily(0.3, levels=3, model=model)
+        links = fam.custom_tree_links()
+        size = max_feasible_set_size(
+            links, model, power=fam.power_scheme().powers(links)
+        )
+        assert size >= 4  # the long set {1..4}
+
+    def test_growing_levels(self, model):
+        """The family extends to more levels: the gap grows with n."""
+        small = MstSuboptimalFamily(0.3, levels=2, model=model).verify()
+        large = MstSuboptimalFamily(0.3, levels=4, model=model).verify()
+        assert small.holds and large.holds
+        assert large.mst_slots_lower_bound > small.mst_slots_lower_bound

@@ -1,0 +1,79 @@
+"""Exact reproduction of the paper's Fig. 1 example.
+
+Five nodes (a, c, sink, d, b on a line), the MST tree
+a->c->sink<-d<-b, and the periodic two-slot schedule
+S1 = {a->c, d->sink}, S2 = {c->sink, b->d}: rate 1/2, latency 3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.simulator import AggregationSimulator
+from repro.geometry.point import PointSet
+from repro.scheduling.schedule import Schedule, Slot
+from repro.spanning.tree import AggregationTree
+
+# Node indices on the line: a=-2, c=-1, sink=0, d=1, b=2.
+A, C, SINK, D, B = 0, 1, 2, 3, 4
+
+
+@pytest.fixture
+def fig1(model):
+    points = PointSet(np.array([-2.0, -1.0, 0.0, 1.0, 2.0]))
+    tree = AggregationTree.mst(points, sink=SINK)
+    links = tree.links()
+
+    def link_index(sender):
+        return int(np.flatnonzero(links.sender_ids == sender)[0])
+
+    s1 = Slot.from_arrays([link_index(A), link_index(D)], [1.0, 1.0])
+    s2 = Slot.from_arrays([link_index(C), link_index(B)], [1.0, 1.0])
+    schedule = Schedule(links, [s1, s2], model)
+    return tree, schedule
+
+
+class TestFigureOne:
+    def test_two_slot_schedule_is_feasible(self, fig1):
+        _tree, schedule = fig1
+        schedule.validate()
+        assert schedule.num_slots == 2
+        assert schedule.rate == pytest.approx(0.5)
+
+    def test_rate_one_half_sustained(self, fig1):
+        tree, schedule = fig1
+        result = AggregationSimulator(tree, schedule).run(25, rng=0)
+        assert result.stable
+        assert result.values_correct
+        # Steady state: 25 frames in ~50 slots.
+        assert result.slots_elapsed <= 25 * 2 + 4
+
+    def test_latency_three(self, fig1):
+        """The paper traces frame 1 arriving complete at the start of
+        slot 4 — a latency of 3 slots."""
+        tree, schedule = fig1
+        result = AggregationSimulator(tree, schedule).run(10, rng=1)
+        # Every frame has the same latency in the periodic steady state.
+        assert result.max_latency == 3
+        assert result.mean_latency == pytest.approx(3.0)
+
+    def test_buffers_bounded(self, fig1):
+        tree, schedule = fig1
+        short = AggregationSimulator(tree, schedule).run(5, rng=2)
+        long = AggregationSimulator(tree, schedule).run(50, rng=2)
+        assert long.max_backlog <= short.max_backlog + 1
+
+    def test_faster_injection_overflows(self, fig1):
+        """'It should be clear that a higher rate cannot be sustained,
+        as it would lead to buffers overflowing.'"""
+        tree, schedule = fig1
+        overloaded = AggregationSimulator(tree, schedule).run(
+            30, injection_period=1, max_slots=60
+        )
+        at_rate = AggregationSimulator(tree, schedule).run(30, rng=0)
+        assert overloaded.final_backlog > 0
+        assert overloaded.max_backlog > at_rate.max_backlog
+
+    def test_mst_is_the_figure_tree(self, fig1):
+        tree, _schedule = fig1
+        undirected = {tuple(sorted(e)) for e in tree.edges}
+        assert undirected == {(A, C), (C, SINK), (SINK, D), (D, B)}

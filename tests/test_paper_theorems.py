@@ -1,0 +1,120 @@
+"""Integration tests asserting the paper's quantitative *shapes*.
+
+These are the in-suite versions of the benchmark experiments: small
+enough to run in CI, strong enough to catch a regression that breaks a
+theorem-level property.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coloring.greedy import greedy_coloring
+from repro.coloring.refinement import refine_by_interference
+from repro.conflict.graph import g1_graph
+from repro.core.theory import predicted_slots_global, predicted_slots_oblivious
+from repro.geometry.diversity import length_diversity
+from repro.geometry.generators import cluster_points, exponential_line, uniform_square
+from repro.scheduling.builder import ScheduleBuilder
+from repro.spanning.tree import AggregationTree
+
+
+class TestTheoremOne:
+    """Theorem 1: MST schedules of length O(log* Delta) (global) and
+    O(log log Delta) (oblivious)."""
+
+    @pytest.mark.parametrize("n", [30, 100, 300])
+    def test_global_near_constant_on_random(self, model, n):
+        links = AggregationTree.mst(uniform_square(n, rng=17)).links()
+        slots = ScheduleBuilder(model, "global").build(links).num_slots
+        assert slots <= 4 * predicted_slots_global(links.diversity) + 4
+
+    @pytest.mark.parametrize("n", [30, 100, 300])
+    def test_oblivious_loglog_on_random(self, model, n):
+        links = AggregationTree.mst(uniform_square(n, rng=17)).links()
+        slots = ScheduleBuilder(model, "oblivious").build(links).num_slots
+        assert slots <= 5 * predicted_slots_oblivious(links.diversity) + 5
+
+    def test_global_flat_while_n_grows_tenfold(self, model):
+        slots = []
+        for n in (30, 300):
+            links = AggregationTree.mst(uniform_square(n, rng=23)).links()
+            slots.append(ScheduleBuilder(model, "global").build(links).num_slots)
+        # 10x nodes, near-constant schedule length.
+        assert slots[1] <= slots[0] + 4
+
+    def test_adversarial_diversity_still_bounded(self, model):
+        """Exponential chains push Delta to 2^n; global power keeps the
+        schedule near log*: tiny."""
+        links = AggregationTree.mst(exponential_line(18)).links()
+        slots = ScheduleBuilder(model, "global").build(links).num_slots
+        assert slots <= 8
+        assert slots <= 3 * predicted_slots_global(links.diversity)
+
+    def test_clustered_deployments(self, model):
+        points = cluster_points(8, 8, cluster_std=0.005, side=1.0, rng=2)
+        links = AggregationTree.mst(points).links()
+        for mode, budget in (("global", 16), ("oblivious", 20)):
+            slots = ScheduleBuilder(model, mode).build(links).num_slots
+            assert slots <= budget
+
+
+class TestTheoremTwo:
+    """Theorem 2: chi(G1(MST)) = O(1)."""
+
+    @pytest.mark.parametrize("n", [30, 100, 300])
+    def test_g1_colors_constant_random(self, model, n):
+        links = AggregationTree.mst(uniform_square(n, rng=29)).links()
+        colors = greedy_coloring(g1_graph(links, gamma=1.0))
+        assert colors.max() + 1 <= 8
+
+    def test_g1_colors_constant_adversarial(self, model):
+        links = AggregationTree.mst(exponential_line(16)).links()
+        colors = greedy_coloring(g1_graph(links, gamma=1.0))
+        assert colors.max() + 1 <= 8
+
+    def test_refinement_count_is_the_theorem_constant(self, model):
+        """The number of refinement buckets t (the proof's constant)
+        does not grow with n."""
+        counts = {}
+        for n in (30, 300):
+            links = AggregationTree.mst(uniform_square(n, rng=31)).links()
+            counts[n] = len(refine_by_interference(links, model.alpha))
+        assert counts[300] <= counts[30] + 2
+        assert max(counts.values()) <= 6
+
+
+class TestCorollaryOne:
+    """Corollary 1: random deployments have Delta = poly(n) w.h.p., so
+    schedules are O(log* n) / O(log log n)."""
+
+    def test_diversity_polynomial_in_n(self):
+        for n in (50, 200, 800):
+            points = uniform_square(n, rng=37)
+            delta = length_diversity(points)
+            assert delta <= n**3  # comfortably poly(n)
+
+    def test_disk_deployments_equivalent(self, model):
+        from repro.geometry.generators import uniform_disk
+
+        points = uniform_disk(100, rng=41)
+        links = AggregationTree.mst(points).links()
+        slots = ScheduleBuilder(model, "global").build(links).num_slots
+        assert slots <= 12
+
+
+class TestPowerControlGap:
+    """Section 1's motivation: without power control, only a trivial
+    linear rate can be guaranteed."""
+
+    def test_uniform_linear_vs_global_gap_grows(self, model):
+        from repro.power.oblivious import UniformPower
+        from repro.scheduling.baselines import greedy_sinr_schedule
+
+        gaps = []
+        for n in (8, 16):
+            links = AggregationTree.mst(exponential_line(n)).links()
+            uniform = greedy_sinr_schedule(links, UniformPower(model.alpha), model)
+            powered = ScheduleBuilder(model, "global").build(links)
+            gaps.append(uniform.num_slots / powered.num_slots)
+        assert gaps[1] > gaps[0]  # the gap widens with n
+        assert gaps[1] >= 2.0

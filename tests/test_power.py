@@ -1,0 +1,107 @@
+"""Tests for power assignments: oblivious schemes, global solver, limits."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.links.linkset import LinkSet
+from repro.power.global_power import GlobalPowerSolver
+from repro.power.limits import (
+    is_interference_limited,
+    max_power_reduced_edges,
+    max_range,
+)
+from repro.power.oblivious import LinearPower, ObliviousPower, UniformPower, mean_power
+from repro.sinr.feasibility import is_feasible_with_power
+from repro.sinr.model import SINRModel
+
+
+class TestObliviousPower:
+    def test_uniform_constant(self, square_links):
+        p = UniformPower(3.0, scale=2.5).powers(square_links)
+        assert np.all(p == 2.5)
+
+    def test_linear_scales_with_length_alpha(self, square_links):
+        p = LinearPower(3.0).powers(square_links)
+        assert np.allclose(p, square_links.lengths**3)
+
+    def test_mean_power(self, square_links):
+        p = mean_power(3.0).powers(square_links)
+        assert np.allclose(p, square_links.lengths**1.5)
+
+    def test_tau_prime(self):
+        assert ObliviousPower(0.3, 3.0).tau_prime == pytest.approx(0.3)
+        assert ObliviousPower(0.8, 3.0).tau_prime == pytest.approx(0.2)
+
+    def test_power_of_length_matches_powers(self, square_links):
+        scheme = ObliviousPower(0.4, 3.0, scale=2.0)
+        p = scheme.powers(square_links)
+        assert p[3] == pytest.approx(scheme.power_of_length(float(square_links.lengths[3])))
+
+    def test_is_oblivious_flag(self):
+        assert ObliviousPower(0.5, 3.0).is_oblivious
+
+    def test_invalid_tau(self):
+        with pytest.raises(ConfigurationError):
+            ObliviousPower(1.5, 3.0)
+        with pytest.raises(ConfigurationError):
+            ObliviousPower(-0.1, 3.0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            ObliviousPower(0.5, 3.0, scale=0.0)
+
+    def test_rescaled_for_noise_meets_minimum(self, square_links):
+        m = SINRModel(alpha=3.0, beta=1.0, noise=1e-3, epsilon=0.5)
+        scheme = mean_power(3.0).rescaled_for_noise(square_links, m)
+        assert is_interference_limited(square_links, scheme, m)
+
+    def test_rescaled_noiseless_identity(self, square_links, model):
+        scheme = mean_power(3.0)
+        assert scheme.rescaled_for_noise(square_links, model) is scheme
+
+
+class TestGlobalPowerSolver:
+    def test_powers_certify(self, model, two_parallel_links):
+        solver = GlobalPowerSolver(model)
+        q = solver.powers(two_parallel_links)
+        assert is_feasible_with_power(two_parallel_links, q, model)
+
+    def test_raises_on_infeasible_set(self, model, two_close_links):
+        with pytest.raises(InfeasibleError):
+            GlobalPowerSolver(model).powers(two_close_links)
+
+    def test_can_schedule_together(self, model, two_parallel_links, two_close_links):
+        solver = GlobalPowerSolver(model)
+        assert solver.can_schedule_together(two_parallel_links)
+        assert not solver.can_schedule_together(two_close_links)
+
+    def test_not_oblivious(self, model):
+        assert not GlobalPowerSolver(model).is_oblivious
+
+
+class TestPowerLimits:
+    def test_max_range_noiseless_infinite(self, model):
+        assert max_range(1.0, model) == float("inf")
+
+    def test_max_range_formula(self):
+        m = SINRModel(alpha=3.0, beta=1.0, noise=1.0, epsilon=1.0)
+        # p_max = 2 * 8 -> range 2.
+        assert max_range(16.0, m) == pytest.approx(2.0)
+
+    def test_interference_limited_noiseless_trivial(self, model, square_links):
+        assert is_interference_limited(square_links, np.ones(len(square_links)), model)
+
+    def test_interference_limited_detects_violation(self, square_links):
+        m = SINRModel(alpha=3.0, beta=1.0, noise=1.0, epsilon=0.5)
+        tiny = np.full(len(square_links), 1e-12)
+        assert not is_interference_limited(square_links, tiny, m)
+
+    def test_reduced_edges_respect_range(self):
+        from repro.geometry.point import PointSet
+
+        m = SINRModel(alpha=3.0, beta=1.0, noise=1.0, epsilon=1.0)
+        ps = PointSet([0.0, 1.0, 10.0])
+        p_max = 2.0 * 8.0  # range 2: only the (0, 1) pair is reachable
+        edges = max_power_reduced_edges(ps, p_max, m)
+        assert edges == [(0, 1)]

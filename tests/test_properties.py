@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.coloring.greedy import greedy_coloring
+from repro.coloring.refinement import refine_by_interference
+from repro.coloring.validation import is_proper_coloring
+from repro.conflict.graph import arbitrary_graph, g1_graph, oblivious_graph
+from repro.geometry.point import PointSet
+from repro.links.linkset import LinkSet
+from repro.sinr.feasibility import is_feasible_with_power, sinr_values
+from repro.sinr.model import SINRModel
+from repro.sinr.powercontrol import is_feasible_some_power
+from repro.spanning.mst import mst_edges_prim, total_weight
+from repro.spanning.tree import AggregationTree
+from repro.util.mathx import log_star, loglog
+from repro.util.unionfind import UnionFind
+
+MODEL = SINRModel(alpha=3.0, beta=1.0)
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+def point_sets(min_points=3, max_points=12):
+    """Distinct planar pointsets with coordinates in a moderate range."""
+
+    def build(raw):
+        coords = np.round(np.asarray(raw, dtype=float), 3)
+        unique = np.unique(coords, axis=0)
+        if unique.shape[0] < min_points:
+            return None
+        return PointSet(unique)
+
+    return (
+        arrays(
+            float,
+            st.tuples(st.integers(min_points, max_points), st.just(2)),
+            elements=st.floats(0.0, 100.0, allow_nan=False, width=32),
+        )
+        .map(build)
+        .filter(lambda ps: ps is not None)
+    )
+
+
+def link_sets(min_links=2, max_links=8):
+    """Random link sets with distinct endpoints and positive lengths."""
+
+    def build(raw):
+        coords = np.round(np.asarray(raw, dtype=float), 3)
+        n = coords.shape[0] // 2
+        senders, receivers = coords[:n], coords[n : 2 * n]
+        lengths = np.linalg.norm(senders - receivers, axis=1)
+        keep = lengths > 1e-6
+        if keep.sum() < min_links:
+            return None
+        return LinkSet(senders[keep], receivers[keep])
+
+    return (
+        arrays(
+            float,
+            st.tuples(st.integers(2 * min_links, 2 * max_links), st.just(2)),
+            elements=st.floats(0.0, 50.0, allow_nan=False, width=32),
+        )
+        .map(build)
+        .filter(lambda ls: ls is not None)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Slow-growing functions
+# ---------------------------------------------------------------------------
+class TestMathProperties:
+    @given(st.floats(1.0, 1e300))
+    def test_log_star_fixpoint(self, x):
+        """log*(x) = 1 + log*(log2 x) for x > 1."""
+        if x > 1.0:
+            assert log_star(x) == 1 + log_star(math.log2(x))
+
+    @given(st.floats(2.0, 1e300), st.floats(1.0, 100.0))
+    def test_log_star_monotone(self, x, bump):
+        assert log_star(x + bump) >= log_star(x)
+
+    @given(st.floats(4.0, 1e300))
+    def test_loglog_below_log_star_times_log(self, x):
+        # Sanity relation: log* grows far slower than loglog.
+        assert log_star(x) <= loglog(x) + 3
+
+
+# ---------------------------------------------------------------------------
+# Geometry / MST
+# ---------------------------------------------------------------------------
+class TestMstProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(point_sets())
+    def test_mst_is_spanning_tree(self, points):
+        edges = mst_edges_prim(points)
+        assert len(edges) == len(points) - 1
+        uf = UnionFind(len(points))
+        for u, v in edges:
+            assert uf.union(u, v)
+        assert uf.component_count == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(point_sets(min_points=3, max_points=8))
+    def test_mst_minimality_vs_random_trees(self, points):
+        """No single-edge swap improves the MST (cut optimality spot
+        check via total weight against star trees)."""
+        edges = mst_edges_prim(points)
+        mst_weight = total_weight(points, edges)
+        for hub in range(len(points)):
+            star = [(hub, v) for v in range(len(points)) if v != hub]
+            assert mst_weight <= total_weight(points, star) + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(point_sets(), st.floats(0.5, 20.0))
+    def test_mst_scale_invariant(self, points, factor):
+        base = {tuple(sorted(e)) for e in mst_edges_prim(points)}
+        scaled = {tuple(sorted(e)) for e in mst_edges_prim(points.scaled(factor))}
+        assert base == scaled
+
+
+# ---------------------------------------------------------------------------
+# SINR feasibility
+# ---------------------------------------------------------------------------
+class TestFeasibilityProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(link_sets(), st.floats(0.1, 10.0))
+    def test_power_scaling_invariance(self, links, factor):
+        """Scaling all powers uniformly never changes noiseless
+        feasibility."""
+        p = np.ones(len(links))
+        assert is_feasible_with_power(links, p, MODEL) == is_feasible_with_power(
+            links, factor * p, MODEL
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(link_sets(min_links=3))
+    def test_subset_monotonicity(self, links):
+        """A subset of a feasible set is feasible (fixed power)."""
+        p = np.ones(len(links))
+        full = is_feasible_with_power(links, p, MODEL)
+        if full:
+            for drop in range(len(links)):
+                subset = [i for i in range(len(links)) if i != drop]
+                assert is_feasible_with_power(links, p, MODEL, subset)
+
+    @settings(max_examples=30, deadline=None)
+    @given(link_sets(min_links=2, max_links=6))
+    def test_fixed_power_feasible_implies_some_power(self, links):
+        """Fixed-power feasibility (with a hair of slack, since the
+        power-control oracle is strict at the spectral boundary)
+        implies power-control feasibility."""
+        p = np.ones(len(links))
+        if is_feasible_with_power(links, p, MODEL, slack=1e-6):
+            assert is_feasible_some_power(links, MODEL)
+
+    @settings(max_examples=30, deadline=None)
+    @given(link_sets(min_links=2, max_links=6), st.floats(1.0, 8.0))
+    def test_beta_monotonicity(self, links, beta_factor):
+        """Raising beta can only shrink the feasible family."""
+        strict = MODEL.with_beta(MODEL.beta * beta_factor)
+        p = np.ones(len(links))
+        if is_feasible_with_power(links, p, strict):
+            assert is_feasible_with_power(links, p, MODEL)
+
+    @settings(max_examples=30, deadline=None)
+    @given(link_sets(min_links=2, max_links=6), st.floats(0.5, 30.0))
+    def test_geometry_scale_invariance(self, links, factor):
+        """Noiseless SINR feasibility is scale invariant (with uniform
+        power)."""
+        scaled = LinkSet(links.senders * factor, links.receivers * factor)
+        p = np.ones(len(links))
+        assert is_feasible_with_power(links, p, MODEL) == is_feasible_with_power(
+            scaled, p, MODEL
+        )
+
+
+# ---------------------------------------------------------------------------
+# Coloring
+# ---------------------------------------------------------------------------
+class TestColoringProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(link_sets(min_links=3, max_links=10))
+    def test_greedy_always_proper(self, links):
+        for graph in (g1_graph(links), oblivious_graph(links), arbitrary_graph(links)):
+            assert is_proper_coloring(graph, greedy_coloring(graph))
+
+    @settings(max_examples=25, deadline=None)
+    @given(link_sets(min_links=3, max_links=10))
+    def test_refinement_partitions(self, links):
+        buckets = refine_by_interference(links, MODEL.alpha)
+        flat = sorted(i for b in buckets for i in b)
+        assert flat == list(range(len(links)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(point_sets(min_points=4, max_points=10))
+    def test_refinement_buckets_independent_in_g1_for_msts(self, points):
+        """Theorem 2's invariant on arbitrary (not just random) MSTs."""
+        links = AggregationTree.mst(points).links()
+        g1 = g1_graph(links, gamma=1.0)
+        for bucket in refine_by_interference(links, MODEL.alpha):
+            assert g1.is_independent(bucket)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end
+# ---------------------------------------------------------------------------
+class TestPipelineProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(point_sets(min_points=4, max_points=10))
+    def test_builder_schedules_always_valid(self, points):
+        from repro.scheduling.builder import ScheduleBuilder
+
+        links = AggregationTree.mst(points).links()
+        for mode in ("global", "oblivious"):
+            schedule = ScheduleBuilder(MODEL, mode).build(links)
+            schedule.validate()
+            assert schedule.num_slots <= len(links)
+
+    @settings(max_examples=10, deadline=None)
+    @given(point_sets(min_points=4, max_points=9))
+    def test_simulation_always_correct(self, points):
+        from repro.aggregation.simulator import AggregationSimulator
+        from repro.scheduling.builder import ScheduleBuilder
+
+        tree = AggregationTree.mst(points)
+        schedule = ScheduleBuilder(MODEL, "global").build_for_tree(tree)
+        result = AggregationSimulator(tree, schedule).run(3, rng=0)
+        assert result.stable
+        assert result.values_correct

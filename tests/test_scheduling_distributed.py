@@ -1,0 +1,81 @@
+"""Tests for the distributed scheduling simulator (Section 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.validation import is_proper_coloring
+from repro.geometry.generators import exponential_line, uniform_square
+from repro.scheduling.builder import ScheduleBuilder
+from repro.scheduling.distributed import DistributedSchedulingSimulator
+from repro.spanning.tree import AggregationTree
+
+
+class TestDistributedSimulator:
+    def test_produces_proper_coloring(self, model):
+        links = AggregationTree.mst(uniform_square(40, rng=0)).links()
+        sim = DistributedSchedulingSimulator(model, "global")
+        result = sim.run(links, rng=1)
+        graph = ScheduleBuilder(model, "global").conflict_graph(links)
+        assert is_proper_coloring(graph, result.colors)
+
+    def test_oblivious_mode(self, model):
+        links = AggregationTree.mst(uniform_square(30, rng=2)).links()
+        sim = DistributedSchedulingSimulator(model, "oblivious")
+        result = sim.run(links, rng=3)
+        graph = ScheduleBuilder(model, "oblivious").conflict_graph(links)
+        assert is_proper_coloring(graph, result.colors)
+
+    def test_phases_cover_length_classes(self, model):
+        from repro.links.classes import length_classes
+
+        links = AggregationTree.mst(exponential_line(10)).links()
+        sim = DistributedSchedulingSimulator(model, "global")
+        result = sim.run(links, rng=0)
+        assert result.num_phases == len(length_classes(links))
+        assert sum(p.class_size for p in result.phases) == len(links)
+
+    def test_longest_class_first(self, model):
+        links = AggregationTree.mst(exponential_line(10)).links()
+        result = DistributedSchedulingSimulator(model, "global").run(links, rng=0)
+        ids = [p.class_id for p in result.phases]
+        assert ids == sorted(ids, reverse=True)
+
+    def test_round_counts_positive(self, model):
+        links = AggregationTree.mst(uniform_square(25, rng=4)).links()
+        result = DistributedSchedulingSimulator(model, "global").run(links, rng=5)
+        assert all(p.coloring_rounds >= 1 for p in result.phases)
+        assert all(p.broadcast_rounds >= 1 for p in result.phases)
+        assert result.total_rounds == sum(p.total_rounds for p in result.phases)
+
+    def test_within_predicted_envelope(self, model):
+        links = AggregationTree.mst(uniform_square(80, rng=6)).links()
+        sim = DistributedSchedulingSimulator(model, "global")
+        result = sim.run(links, rng=7)
+        envelope = sim.predicted_round_envelope(links, result.num_colors)
+        assert result.total_rounds <= 4 * envelope
+
+    def test_reproducible_with_seed(self, model):
+        links = AggregationTree.mst(uniform_square(30, rng=8)).links()
+        sim = DistributedSchedulingSimulator(model, "global")
+        a = sim.run(links, rng=9)
+        b = sim.run(links, rng=9)
+        assert np.array_equal(a.colors, b.colors)
+        assert a.total_rounds == b.total_rounds
+
+    def test_no_collision_detection_costs_more_broadcast(self, model):
+        links = AggregationTree.mst(uniform_square(30, rng=10)).links()
+        with_cd = DistributedSchedulingSimulator(
+            model, "global", broadcast_collision_detection=True
+        ).run(links, rng=11)
+        without_cd = DistributedSchedulingSimulator(
+            model, "global", broadcast_collision_detection=False
+        ).run(links, rng=11)
+        assert sum(p.broadcast_rounds for p in without_cd.phases) >= sum(
+            p.broadcast_rounds for p in with_cd.phases
+        )
+
+    def test_colors_comparable_to_centralised(self, model):
+        links = AggregationTree.mst(uniform_square(50, rng=12)).links()
+        distributed = DistributedSchedulingSimulator(model, "global").run(links, rng=13)
+        _schedule, report = ScheduleBuilder(model, "global").build_with_report(links)
+        assert distributed.num_colors <= 3 * report.initial_colors + 2

@@ -1,0 +1,96 @@
+"""Tests for Schedule and Slot."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.scheduling.schedule import Schedule, Slot
+
+
+class TestSlot:
+    def test_basic(self):
+        slot = Slot.from_arrays([0, 2], [1.0, 2.0])
+        assert len(slot) == 2
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ScheduleError):
+            Slot((0, 1), (1.0,))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ScheduleError):
+            Slot((), ())
+
+    def test_rejects_duplicate_link(self):
+        with pytest.raises(ScheduleError):
+            Slot((0, 0), (1.0, 1.0))
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ScheduleError):
+            Slot((0,), (0.0,))
+
+
+class TestSchedule:
+    def test_valid_two_slot(self, model, two_close_links):
+        # The crossing pair is infeasible together but fine separately.
+        schedule = Schedule(
+            two_close_links,
+            [Slot((0,), (1.0,)), Slot((1,), (1.0,))],
+            model,
+        )
+        assert schedule.num_slots == 2
+        assert schedule.rate == pytest.approx(0.5)
+
+    def test_single_slot_when_feasible(self, model, two_parallel_links):
+        schedule = Schedule(
+            two_parallel_links, [Slot((0, 1), (1.0, 1.0))], model
+        )
+        assert schedule.num_slots == 1
+
+    def test_rejects_infeasible_slot(self, model, two_close_links):
+        with pytest.raises(ScheduleError):
+            Schedule(two_close_links, [Slot((0, 1), (1.0, 1.0))], model)
+
+    def test_rejects_missing_link(self, model, two_parallel_links):
+        with pytest.raises(ScheduleError):
+            Schedule(two_parallel_links, [Slot((0,), (1.0,))], model)
+
+    def test_rejects_duplicated_link(self, model, two_parallel_links):
+        with pytest.raises(ScheduleError):
+            Schedule(
+                two_parallel_links,
+                [Slot((0,), (1.0,)), Slot((0,), (1.0,)), Slot((1,), (1.0,))],
+                model,
+            )
+
+    def test_validate_false_skips_checks(self, model, two_close_links):
+        schedule = Schedule(
+            two_close_links, [Slot((0, 1), (1.0, 1.0))], model, validate=False
+        )
+        assert schedule.num_slots == 1
+
+    def test_slot_of_link_and_colors(self, model, two_close_links):
+        schedule = Schedule(
+            two_close_links, [Slot((1,), (1.0,)), Slot((0,), (1.0,))], model
+        )
+        assert schedule.slot_of_link(1) == 0
+        assert schedule.slot_of_link(0) == 1
+        assert schedule.colors().tolist() == [1, 0]
+
+    def test_min_slack_at_least_one_for_valid(self, model, two_parallel_links):
+        schedule = Schedule(
+            two_parallel_links, [Slot((0, 1), (1.0, 1.0))], model
+        )
+        assert schedule.min_slack() >= 1.0
+
+    def test_power_stats(self, model, two_close_links):
+        schedule = Schedule(
+            two_close_links, [Slot((0,), (2.0,)), Slot((1,), (4.0,))], model
+        )
+        stats = schedule.power_stats()
+        assert stats == {"min": 2.0, "max": 4.0, "total": 6.0}
+
+    def test_iteration(self, model, two_close_links):
+        schedule = Schedule(
+            two_close_links, [Slot((0,), (1.0,)), Slot((1,), (1.0,))], model
+        )
+        assert len(list(schedule)) == 2

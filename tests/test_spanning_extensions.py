@@ -1,0 +1,182 @@
+"""Tests for the power-limited, latency and k-connectivity extensions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError, InfeasibleError
+from repro.geometry.generators import uniform_square
+from repro.geometry.point import PointSet
+from repro.sinr.model import SINRModel
+from repro.spanning.kconnect import (
+    edge_connectivity,
+    k_connected_edges,
+    k_connected_links,
+    sparsity_vs_k,
+)
+from repro.spanning.knn_graph import (
+    critical_range,
+    knn_edges,
+    power_limited_tree,
+    range_limited_edges,
+    reduced_mst,
+)
+from repro.spanning.latency import balanced_matching_tree, tree_latency_bound
+from repro.spanning.mst import mst_edges
+from repro.spanning.tree import AggregationTree
+
+
+class TestRangeLimited:
+    def test_edges_respect_reach(self):
+        ps = PointSet([0.0, 1.0, 3.0, 10.0])
+        edges = range_limited_edges(ps, reach=3.0)
+        assert (0, 1, 1.0) in edges
+        assert all(w <= 3.0 for _u, _v, w in edges)
+        assert not any({u, v} == {0, 3} for u, v, _w in edges)
+
+    def test_rejects_bad_reach(self):
+        with pytest.raises(GeometryError):
+            range_limited_edges(PointSet([0.0, 1.0]), 0.0)
+
+    def test_reduced_mst_matches_full_when_connected(self, square_points):
+        full = {tuple(sorted(e)) for e in mst_edges(square_points)}
+        reach = critical_range(square_points) * 1.01
+        reduced = {
+            tuple(sorted(e))
+            for e in reduced_mst(square_points, range_limited_edges(square_points, reach))
+        }
+        # Same total weight (tie-breaking may differ).
+        def weight(edges):
+            return sum(square_points.distance(u, v) for u, v in edges)
+
+        assert weight(reduced) == pytest.approx(weight(full))
+
+    def test_critical_range_is_threshold(self, square_points):
+        r = critical_range(square_points)
+        reduced_mst(square_points, range_limited_edges(square_points, r))  # connected
+        with pytest.raises(GeometryError):
+            reduced_mst(square_points, range_limited_edges(square_points, r * 0.99))
+
+
+class TestKnn:
+    def test_knn_edge_count_bounds(self, square_points):
+        edges = knn_edges(square_points, 3)
+        n = len(square_points)
+        assert len(edges) <= 3 * n
+        # Each node appears in at least its own k selections.
+        appearing = set()
+        for u, v, _w in edges:
+            appearing.update((u, v))
+        assert appearing == set(range(n))
+
+    def test_knn_rejects_bad_k(self, square_points):
+        with pytest.raises(GeometryError):
+            knn_edges(square_points, 0)
+        with pytest.raises(GeometryError):
+            knn_edges(square_points, len(square_points))
+
+    def test_knn_contains_nearest_neighbour(self, square_points):
+        dm = square_points.distance_matrix().copy()
+        np.fill_diagonal(dm, np.inf)
+        nn_of_0 = int(np.argmin(dm[0]))
+        edges = {(u, v) for u, v, _w in knn_edges(square_points, 1)}
+        assert (min(0, nn_of_0), max(0, nn_of_0)) in edges
+
+
+class TestPowerLimitedTree:
+    def test_noiseless_ignores_cap(self, model, square_points):
+        tree = power_limited_tree(square_points, 1.0, model)
+        assert len(tree.links()) == len(square_points) - 1
+
+    def test_sufficient_cap_builds_tree(self, square_points):
+        m = SINRModel(alpha=3.0, beta=1.0, noise=1.0, epsilon=0.5)
+        crit = critical_range(square_points)
+        p_max = (1 + m.epsilon) * m.beta * m.noise * (crit * 1.1) ** m.alpha
+        tree = power_limited_tree(square_points, p_max, m)
+        # All tree links within range.
+        assert tree.links().lengths.max() <= crit * 1.1 + 1e-9
+
+    def test_insufficient_cap_raises(self, square_points):
+        m = SINRModel(alpha=3.0, beta=1.0, noise=1.0, epsilon=0.5)
+        crit = critical_range(square_points)
+        p_max = (1 + m.epsilon) * m.beta * m.noise * (crit * 0.5) ** m.alpha
+        with pytest.raises(InfeasibleError):
+            power_limited_tree(square_points, p_max, m)
+
+
+class TestBalancedTree:
+    def test_logarithmic_height(self):
+        import math
+
+        for n in (16, 64, 128):
+            points = uniform_square(n, rng=61)
+            tree = balanced_matching_tree(points)
+            assert tree.height() <= 2 * math.ceil(math.log2(n))
+
+    def test_beats_mst_height_on_path(self):
+        # A path pointset: MST height is n-1, balanced tree is log n.
+        points = PointSet(np.arange(32, dtype=float))
+        mst = AggregationTree.mst(points, sink=0)
+        balanced = balanced_matching_tree(points, sink=0)
+        assert mst.height() == 31
+        assert balanced.height() <= 10
+
+    def test_rate_latency_tradeoff(self, model):
+        """§3.1: the balanced tree wins on latency, the MST on rate —
+        both directions of the trade-off are measurable."""
+        from repro.scheduling.builder import ScheduleBuilder
+
+        points = PointSet(np.arange(24, dtype=float))
+        mst = AggregationTree.mst(points, sink=0)
+        balanced = balanced_matching_tree(points, sink=0)
+        assert tree_latency_bound(balanced) < tree_latency_bound(mst)
+        mst_slots = ScheduleBuilder(model, "global").build_for_tree(mst).num_slots
+        bal_slots = ScheduleBuilder(model, "global").build_for_tree(balanced).num_slots
+        assert mst_slots <= bal_slots
+
+    def test_sink_is_root(self):
+        points = uniform_square(20, rng=67)
+        tree = balanced_matching_tree(points, sink=7)
+        assert tree.sink == 7
+        assert tree.parent[7] == -1
+
+    def test_single_point(self):
+        tree = balanced_matching_tree(PointSet([[0.0, 0.0]]))
+        assert tree.height() == 0
+
+
+class TestKConnect:
+    def test_k1_is_mst(self, square_points):
+        edges = k_connected_edges(square_points, 1)
+        assert {tuple(sorted(e)) for e in edges} == {
+            tuple(sorted(e)) for e in mst_edges(square_points)
+        }
+
+    def test_connectivity_grows(self):
+        points = uniform_square(16, rng=71)
+        for k in (1, 2, 3):
+            edges = k_connected_edges(points, k)
+            assert edge_connectivity(len(points), edges) >= k
+
+    def test_edge_count(self):
+        points = uniform_square(12, rng=73)
+        e1 = len(k_connected_edges(points, 1))
+        e2 = len(k_connected_edges(points, 2))
+        assert e1 == 11 and e2 == 22
+
+    def test_sparsity_grows_polynomially(self, model):
+        """Remark 2: the sparsity constant degrades with k but stays
+        bounded (O(k^4) in theory; tiny in practice)."""
+        points = uniform_square(24, rng=79)
+        rows = sparsity_vs_k(points, model.alpha, 3)
+        values = [v for _k, v in rows]
+        assert values[0] <= values[-1] <= 50 * (3**4)
+
+    def test_rejects_bad_k(self, square_points):
+        with pytest.raises(GeometryError):
+            k_connected_edges(square_points, 0)
+        with pytest.raises(GeometryError):
+            k_connected_edges(PointSet([0.0, 1.0]), 2)
+
+    def test_links_exported(self, square_points):
+        links = k_connected_links(square_points, 2)
+        assert len(links) == 2 * (len(square_points) - 1)

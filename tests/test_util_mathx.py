@@ -1,0 +1,106 @@
+"""Tests for the slow-growing function helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.mathx import (
+    ilog2,
+    iterated_log2,
+    log_star,
+    loglog,
+    next_power_of_two,
+    safe_log2,
+)
+
+
+class TestLogStar:
+    def test_known_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+
+    def test_zero_and_below_one(self):
+        assert log_star(0) == 0
+        assert log_star(0.5) == 0
+
+    def test_monotone_nondecreasing(self):
+        values = [log_star(x) for x in (1, 3, 10, 100, 1e4, 1e8, 1e30)]
+        assert values == sorted(values)
+
+    def test_huge_argument_stays_tiny(self):
+        assert log_star(1e300) <= 5
+
+    def test_invalid_base(self):
+        with pytest.raises(ConfigurationError):
+            log_star(10, base=1.0)
+
+    def test_negative_argument(self):
+        with pytest.raises(ConfigurationError):
+            log_star(-1)
+
+
+class TestLogLog:
+    def test_known_values(self):
+        assert loglog(16) == pytest.approx(2.0)
+        assert loglog(256) == pytest.approx(3.0)
+
+    def test_clamped_below(self):
+        assert loglog(1.5) == 0.0
+        assert loglog(2.0) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            loglog(0.0)
+
+
+class TestSafeLog2:
+    def test_ordinary(self):
+        assert safe_log2(8) == pytest.approx(3.0)
+
+    def test_clamps_below_one(self):
+        assert safe_log2(0.5) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            safe_log2(0)
+
+
+class TestIlog2:
+    def test_values(self):
+        assert ilog2(1) == 0
+        assert ilog2(2) == 1
+        assert ilog2(3) == 1
+        assert ilog2(1024) == 10
+
+    def test_rejects_below_one(self):
+        with pytest.raises(ConfigurationError):
+            ilog2(0.5)
+
+
+class TestIteratedLog2:
+    def test_zero_times_is_identity(self):
+        assert iterated_log2(100.0, 0) == 100.0
+
+    def test_twice_matches_loglog(self):
+        assert iterated_log2(256.0, 2) == pytest.approx(3.0)
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ConfigurationError):
+            iterated_log2(4.0, -1)
+
+    def test_rejects_domain_exit(self):
+        with pytest.raises(ConfigurationError):
+            iterated_log2(0.5, 2)  # log2(0.5) < 0 -> second log undefined
+
+
+class TestNextPowerOfTwo:
+    def test_values(self):
+        assert next_power_of_two(0.3) == 1
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(4) == 4
+        assert next_power_of_two(1025) == 2048

@@ -1,0 +1,87 @@
+"""Tests for RNG plumbing, orderings and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.ordering import (
+    argsort_by_length_nondecreasing,
+    argsort_by_length_nonincreasing,
+)
+from repro.util.rng import as_generator, spawn
+from repro.util.validation import check_finite_array, check_positive, check_probability
+
+
+class TestAsGenerator:
+    def test_seed_reproducible(self):
+        a = as_generator(7).uniform(size=5)
+        b = as_generator(7).uniform(size=5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+    def test_spawn_children_independent(self):
+        kids = spawn(0, 3)
+        assert len(kids) == 3
+        draws = [k.uniform() for k in kids]
+        assert len(set(draws)) == 3  # all differ
+
+
+class TestOrdering:
+    def test_nonincreasing(self):
+        lengths = np.array([1.0, 5.0, 3.0])
+        assert argsort_by_length_nonincreasing(lengths).tolist() == [1, 2, 0]
+
+    def test_nondecreasing(self):
+        lengths = np.array([1.0, 5.0, 3.0])
+        assert argsort_by_length_nondecreasing(lengths).tolist() == [0, 2, 1]
+
+    def test_stable_on_ties(self):
+        lengths = np.array([2.0, 2.0, 2.0])
+        assert argsort_by_length_nonincreasing(lengths).tolist() == [0, 1, 2]
+        assert argsort_by_length_nondecreasing(lengths).tolist() == [0, 1, 2]
+
+    def test_orders_are_reverses_modulo_ties(self):
+        rng = np.random.default_rng(0)
+        lengths = rng.uniform(size=20)
+        up = argsort_by_length_nondecreasing(lengths)
+        down = argsort_by_length_nonincreasing(lengths)
+        assert up.tolist() == down.tolist()[::-1]
+
+
+class TestValidation:
+    def test_check_positive_strict(self):
+        assert check_positive("x", 1.5) == 1.5
+        with pytest.raises(ConfigurationError):
+            check_positive("x", 0.0)
+
+    def test_check_positive_nonstrict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+        with pytest.raises(ConfigurationError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_check_probability_closed(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            check_probability("p", 1.1)
+
+    def test_check_probability_open(self):
+        assert check_probability("p", 0.5, open_interval=True) == 0.5
+        with pytest.raises(ConfigurationError):
+            check_probability("p", 0.0, open_interval=True)
+
+    def test_check_finite_array(self):
+        arr = check_finite_array("a", [1.0, 2.0])
+        assert arr.dtype == float
+        with pytest.raises(ConfigurationError):
+            check_finite_array("a", [1.0, np.inf])

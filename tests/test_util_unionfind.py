@@ -1,0 +1,67 @@
+"""Tests for the disjoint-set forest."""
+
+import pytest
+
+from repro.util.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(5)
+        assert uf.component_count == 5
+        assert not uf.connected(0, 1)
+
+    def test_union_connects(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1) is True
+        assert uf.connected(0, 1)
+        assert uf.component_count == 4
+
+    def test_union_idempotent(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert uf.union(1, 0) is False
+        assert uf.component_count == 3
+
+    def test_transitivity(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.connected(0, 2)
+        assert not uf.connected(2, 3)
+        uf.union(2, 3)
+        assert uf.connected(0, 4)
+
+    def test_components_partition(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = uf.components()
+        members = sorted(m for grp in groups.values() for m in grp)
+        assert members == list(range(6))
+        sizes = sorted(len(g) for g in groups.values())
+        assert sizes == [1, 1, 2, 2]
+
+    def test_full_merge(self):
+        uf = UnionFind(10)
+        for i in range(9):
+            uf.union(i, i + 1)
+        assert uf.component_count == 1
+        assert uf.connected(0, 9)
+
+    def test_zero_size(self):
+        uf = UnionFind(0)
+        assert uf.component_count == 0
+        assert len(uf) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_find_is_canonical(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 1)
+        assert uf.find(0) == uf.find(1) == uf.find(2)
+        assert uf.find(3) != uf.find(0)
