@@ -42,13 +42,26 @@ class ConflictGraph:
         self._adjacency = self._build()
 
     def _build(self) -> np.ndarray:
-        lengths = self.links.lengths
-        gap = self.links.link_distances()
-        lmin = np.minimum(lengths[:, None], lengths[None, :])
-        lmax = np.maximum(lengths[:, None], lengths[None, :])
-        ratio = lmax / lmin
         # Conflict iff d(i, j) <= l_min * f(l_max / l_min).
-        adjacent = gap <= lmin * self.threshold(ratio)
+        lengths = self.links.lengths
+        kernel = self.links.kernel()
+        if not kernel.chunked:
+            gap = self.links.link_distances()
+            lmin = np.minimum(lengths[:, None], lengths[None, :])
+            lmax = np.maximum(lengths[:, None], lengths[None, :])
+            adjacent = gap <= lmin * self.threshold(lmax / lmin)
+        else:
+            # Large link sets: stream gap distances in row blocks via
+            # the kernel cache so no n x n float64 array is allocated
+            # (the boolean adjacency is 8x smaller).
+            n = len(self.links)
+            cols = np.arange(n)
+            adjacent = np.empty((n, n), dtype=bool)
+            for rows in kernel.iter_blocks(cols):
+                gap = kernel.gap_submatrix(rows, cols)
+                lmin = np.minimum(lengths[rows][:, None], lengths[None, :])
+                lmax = np.maximum(lengths[rows][:, None], lengths[None, :])
+                adjacent[rows] = gap <= lmin * self.threshold(lmax / lmin)
         np.fill_diagonal(adjacent, False)
         adjacent.setflags(write=False)
         return adjacent

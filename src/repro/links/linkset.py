@@ -43,6 +43,7 @@ class LinkSet:
         "_lengths",
         "_sr_cache",
         "_gap_cache",
+        "_kernel_cache",
     )
 
     def __init__(
@@ -89,6 +90,7 @@ class LinkSet:
             arr.setflags(write=False)
         self._sr_cache: Optional[np.ndarray] = None
         self._gap_cache: Optional[np.ndarray] = None
+        self._kernel_cache = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -207,6 +209,50 @@ class LinkSet:
             gap.setflags(write=False)
             self._gap_cache = gap
         return self._gap_cache
+
+    def kernel(
+        self,
+        *,
+        block_size: Optional[int] = None,
+        max_dense_links: Optional[int] = None,
+        force_chunked: Optional[bool] = None,
+    ):
+        """The :class:`~repro.sinr.kernels.KernelCache` attached to this
+        link set (created lazily, shared by all consumers).
+
+        Called with no arguments, returns the existing cache (or a
+        default-configured one).  Explicit arguments reconfigure *only
+        the options passed*: unspecified options keep the attached
+        cache's current values, and the cache (with its memoized
+        matrices) is replaced only if the merged configuration actually
+        differs.  Because a LinkSet is immutable, the cached geometry
+        can never go stale; a *new* LinkSet starts with a fresh, empty
+        cache.
+        """
+        from repro.sinr.kernels import KernelCache
+
+        explicit = (
+            block_size is not None
+            or max_dense_links is not None
+            or force_chunked is not None
+        )
+        if self._kernel_cache is None or explicit:
+            if self._kernel_cache is not None:
+                current_bs, current_mdl, current_fc = self._kernel_cache.config()
+                block_size = current_bs if block_size is None else block_size
+                max_dense_links = (
+                    current_mdl if max_dense_links is None else max_dense_links
+                )
+                force_chunked = current_fc if force_chunked is None else force_chunked
+            requested = KernelCache(
+                self,
+                block_size=block_size,
+                max_dense_links=max_dense_links,
+                force_chunked=bool(force_chunked),
+            )
+            if self._kernel_cache is None or self._kernel_cache.config() != requested.config():
+                self._kernel_cache = requested
+        return self._kernel_cache
 
     # ------------------------------------------------------------------
     # Subsetting

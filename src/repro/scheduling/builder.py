@@ -33,9 +33,11 @@ from repro.constants import DEFAULT_DELTA, DEFAULT_GAMMA, DEFAULT_TAU
 from repro.errors import ConfigurationError
 from repro.links.linkset import LinkSet
 from repro.power.oblivious import ObliviousPower
-from repro.scheduling.repair import split_into_feasible_slots
+from repro.scheduling.repair import (
+    split_into_feasible_slots,
+    split_into_feasible_slots_fixed_power,
+)
 from repro.scheduling.schedule import Schedule, Slot
-from repro.sinr.feasibility import is_feasible_with_power
 from repro.sinr.model import SINRModel
 from repro.sinr.powercontrol import feasible_power_assignment, is_feasible_some_power
 from repro.spanning.tree import AggregationTree
@@ -92,6 +94,10 @@ class ScheduleBuilder:
         Exponent of the oblivious conflict graph.
     tau:
         Oblivious power exponent (``OBLIVIOUS`` mode only).
+    kernel_block_size:
+        Optional row-block size for the link set's interference kernel
+        cache (see :mod:`repro.sinr.kernels`); tune it when scheduling
+        10k+ link networks whose dense matrices would not fit in memory.
     """
 
     def __init__(
@@ -102,14 +108,20 @@ class ScheduleBuilder:
         gamma: float = DEFAULT_GAMMA,
         delta: float = DEFAULT_DELTA,
         tau: float = DEFAULT_TAU,
+        kernel_block_size: Optional[int] = None,
     ) -> None:
         self.model = model
         self.mode = PowerMode(mode)
         if gamma <= 0:
             raise ConfigurationError(f"gamma must be positive, got {gamma}")
+        if kernel_block_size is not None and kernel_block_size <= 0:
+            raise ConfigurationError(
+                f"kernel_block_size must be positive, got {kernel_block_size}"
+            )
         self.gamma = float(gamma)
         self.delta = float(delta)
         self.tau = float(tau)
+        self.kernel_block_size = kernel_block_size
 
     # ------------------------------------------------------------------
     def conflict_graph(self, links: LinkSet) -> ConflictGraph:
@@ -141,7 +153,14 @@ class ScheduleBuilder:
         return self.build(tree.links())
 
     def build_with_report(self, links: LinkSet) -> tuple[Schedule, BuildReport]:
-        """Full pipeline returning the schedule plus diagnostics."""
+        """Full pipeline returning the schedule plus diagnostics.
+
+        Every feasibility probe routes through the link set's kernel
+        cache; fixed-power modes additionally use the incremental
+        row-sum repair pass.
+        """
+        if self.kernel_block_size is not None:
+            links.kernel(block_size=self.kernel_block_size)
         graph = self.conflict_graph(links)
         colors = greedy_coloring(graph)
         classes = color_classes(colors)
@@ -153,16 +172,21 @@ class ScheduleBuilder:
             def predicate(subset: Sequence[int]) -> bool:
                 return is_feasible_some_power(links, self.model, subset)
 
+            def split(class_indices: Sequence[int]) -> List[List[int]]:
+                return split_into_feasible_slots(links, class_indices, predicate)
+
         else:
             power_vec = scheme.powers(links)
 
-            def predicate(subset: Sequence[int]) -> bool:
-                return is_feasible_with_power(links, power_vec, self.model, subset)
+            def split(class_indices: Sequence[int]) -> List[List[int]]:
+                return split_into_feasible_slots_fixed_power(
+                    links, class_indices, power_vec, self.model
+                )
 
         slots: List[Slot] = []
         split_count = 0
         for color in sorted(classes):
-            pieces = split_into_feasible_slots(links, classes[color], predicate)
+            pieces = split(classes[color])
             if len(pieces) > 1:
                 split_count += 1
             for piece in pieces:

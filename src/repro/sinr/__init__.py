@@ -1,4 +1,13 @@
-"""The physical (SINR) interference model and feasibility oracles."""
+"""The physical (SINR) interference model and feasibility oracles.
+
+All pairwise interference quantities are computed by the kernel layer
+in :mod:`repro.sinr.kernels`: a :class:`~repro.sinr.kernels.KernelCache`
+attached to each :class:`~repro.links.linkset.LinkSet` memoizes the
+additive / relative-interference / affectance matrices per
+``(alpha, power-scheme)`` key, serves row and submatrix queries without
+full rebuilds, and falls back to chunked block evaluation on 10k+ link
+networks so no ``n x n`` float64 matrix is ever materialised.
+"""
 
 from repro.sinr.affectance import (
     additive_interference,
@@ -10,6 +19,7 @@ from repro.sinr.feasibility import (
     max_relative_interference,
     sinr_values,
 )
+from repro.sinr.kernels import KernelCache, KernelStats, get_kernel
 from repro.sinr.model import SINRModel
 from repro.sinr.robustness import FadingChannel, measure_retransmissions
 from repro.sinr.powercontrol import (
@@ -21,12 +31,15 @@ from repro.sinr.powercontrol import (
 
 __all__ = [
     "FadingChannel",
+    "KernelCache",
+    "KernelStats",
     "SINRModel",
     "additive_interference",
     "measure_retransmissions",
     "additive_interference_matrix",
     "affectance_matrix",
     "feasible_power_assignment",
+    "get_kernel",
     "is_feasible_some_power",
     "is_feasible_with_power",
     "max_relative_interference",

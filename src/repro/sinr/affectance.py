@@ -10,6 +10,12 @@ Two operators drive the paper's analysis:
 * the *relative interference* under a fixed power assignment,
   ``I_P(j, i) = P(j) l_i^alpha / (P(i) d_ji^alpha)`` — a set is
   P-feasible (noiseless) iff every row sum is at most ``1/beta``.
+
+All entry computation and caching lives in the kernel layer
+(:mod:`repro.sinr.kernels`): dense matrices are memoized on the link
+set's :class:`~repro.sinr.kernels.KernelCache` and point queries such
+as :func:`additive_interference` read only the entries they need
+instead of rebuilding ``n x n`` arrays.
 """
 
 from __future__ import annotations
@@ -33,15 +39,11 @@ def additive_interference_matrix(links: LinkSet, alpha: float) -> np.ndarray:
     """Matrix ``M[j, i] = I(j, i) = min(1, l_j^alpha / d(i, j)^alpha)``.
 
     The diagonal is zero by convention (``I(i, i) = 0``).  Links sharing
-    a node have ``d(i, j) = 0`` and saturate at 1.
+    a node have ``d(i, j) = 0`` and saturate at 1.  The matrix is
+    memoized per ``alpha`` on the link set's kernel cache and returned
+    read-only.
     """
-    gap = links.link_distances()
-    lengths = links.lengths
-    with np.errstate(divide="ignore"):
-        ratio = (lengths[:, None] / gap) ** alpha
-    m = np.minimum(1.0, ratio)
-    np.fill_diagonal(m, 0.0)
-    return m
+    return links.kernel().additive_matrix(alpha)
 
 
 def additive_interference(
@@ -50,12 +52,16 @@ def additive_interference(
     source: Sequence[int],
     target: int,
 ) -> float:
-    """``I(S, i) = sum_{j in S} I(j, i)`` for ``S = source``, ``i = target``."""
+    """``I(S, i) = sum_{j in S} I(j, i)`` for ``S = source``, ``i = target``.
+
+    An ``O(|S|)`` kernel query: only the needed column entries are
+    computed (or sliced from an already-memoized dense matrix) — never
+    a full ``n x n`` rebuild.
+    """
     src = np.asarray(source, dtype=int)
     if src.size == 0:
         return 0.0
-    m = additive_interference_matrix(links, alpha)
-    return float(m[src, target].sum())
+    return links.kernel().additive_query(alpha, src, int(target))
 
 
 def relative_interference_matrix(
@@ -77,13 +83,7 @@ def relative_interference_matrix(
         idx = np.arange(len(links))
     else:
         idx = np.asarray(active, dtype=int)
-    sub = links.subset(idx)
-    p = vec[idx]
-    dist = sub.sender_receiver_distances()  # D[j, i] = d(s_j, r_i)
-    with np.errstate(divide="ignore"):
-        r = (p[:, None] / p[None, :]) * (sub.lengths[None, :] / dist) ** model.alpha
-    np.fill_diagonal(r, 0.0)
-    return r
+    return links.kernel().relative_submatrix(vec, model.alpha, idx, idx)
 
 
 def mst_sparsity_bound(links: LinkSet, alpha: float) -> float:

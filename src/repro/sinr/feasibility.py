@@ -5,7 +5,12 @@ link ``i``::
 
     P(i)/l_i^alpha  >=  beta * ( sum_{j in S, j != i} P(j)/d_ji^alpha + N )
 
-Everything here is vectorised over the whole set at once.
+Everything here is vectorised over the whole set at once.  The
+interference row sums come from the link set's
+:class:`~repro.sinr.kernels.KernelCache`: repeated queries against the
+same power vector are served from the memoized relative-interference
+matrix, and very large link sets are evaluated in blocks without ever
+materialising an ``n x n`` array.
 """
 
 from __future__ import annotations
@@ -53,23 +58,18 @@ def sinr_values(
         idx = np.arange(len(links))
     else:
         idx = np.asarray(active, dtype=int)
-    sub = links.subset(idx)
-    p = vec[idx]
-    dist = sub.sender_receiver_distances()  # D[j, i] = d(s_j, r_i)
-    lengths = sub.lengths
     # Work with *relative* quantities: SINR_i = 1 / (sum_j I_P(j, i) +
     # N l_i^alpha / P_i) where I_P(j, i) = (P_j/P_i) (l_i/d_ji)^alpha.
     # Ratios stay representable on instances whose absolute gains
     # under/overflow (coordinates up to ~1e154 in the adversarial
-    # constructions).
-    with np.errstate(divide="ignore", over="ignore"):
-        power_ratio = p[:, None] / p[None, :]  # [j, i] = P_j / P_i
-        geom = (lengths[None, :] / dist) ** model.alpha  # [j, i] = (l_i/d_ji)^alpha
-        rel = power_ratio * geom  # I_P(j, i); inf when d_ji = 0
-    np.fill_diagonal(rel, 0.0)
+    # constructions).  The row sums are a kernel-cache query: memoized
+    # per power vector, block-streamed for very large link sets.
+    interference = links.kernel().relative_colsums(vec, model.alpha, idx)
+    p = vec[idx]
+    lengths = links.lengths[idx]
     with np.errstate(over="ignore", divide="ignore"):
         rel_noise = model.noise * lengths**model.alpha / p if model.noise else 0.0
-        denom = rel.sum(axis=0) + rel_noise
+        denom = interference + rel_noise
         return np.where(denom > 0, 1.0 / denom, np.inf)
 
 

@@ -42,17 +42,16 @@ def affectance_matrix(
     ``A[i, j] = beta * l_i^alpha / d(s_j, r_i)^alpha`` for ``j != i``;
     row ``i`` collects how strongly each other sender hits receiver
     ``i``, normalised by link ``i``'s own path gain.
+
+    Served by the link set's :class:`~repro.sinr.kernels.KernelCache`:
+    repeated subset queries (the repair loop's common case) slice a
+    memoized dense matrix instead of rebuilding distances.
     """
     if active is None:
-        sub = links
+        idx = np.arange(len(links))
     else:
-        sub = links.subset(np.asarray(active, dtype=int))
-    dist = sub.sender_receiver_distances()  # D[j, i] = d(s_j, r_i)
-    lengths = sub.lengths
-    with np.errstate(divide="ignore"):
-        ratio = (lengths[None, :] / dist) ** model.alpha  # [j, i]
-    a = model.beta * ratio.T  # A[i, j]
-    np.fill_diagonal(a, 0.0)
+        idx = np.asarray(active, dtype=int)
+    a = links.kernel().affectance_submatrix(model, idx, idx)
     if not np.all(np.isfinite(a)):
         raise InfeasibleError(
             "two links share a node (d_ji = 0); they can never be concurrently feasible"
@@ -115,21 +114,21 @@ def feasible_power_assignment(
         idx = np.arange(len(links))
     else:
         idx = np.asarray(active, dtype=int)
-    sub = links.subset(idx)
-    if len(sub) == 1:
-        p = max(model.min_power(float(sub.lengths[0])), 1.0)
+    lengths = links.lengths[idx]
+    if idx.size == 1:
+        p = max(model.min_power(float(lengths[0])), 1.0)
         return np.array([p])
-    a = affectance_matrix(sub, model)
+    a = affectance_matrix(links, model, idx)
     if spectral_radius(a) >= 1.0 - margin:
         raise InfeasibleError(
-            f"set of {len(sub)} links is infeasible under any power "
+            f"set of {idx.size} links is infeasible under any power "
             f"(spectral radius {spectral_radius(a):.6f} >= 1)"
         )
     if model.noiseless:
-        b = np.ones(len(sub))
+        b = np.ones(idx.size)
     else:
-        b = (1.0 + model.epsilon) * model.beta * model.noise * sub.lengths**model.alpha
-    q = np.linalg.solve(np.eye(len(sub)) - a, b)
+        b = (1.0 + model.epsilon) * model.beta * model.noise * lengths**model.alpha
+    q = np.linalg.solve(np.eye(idx.size) - a, b)
     if np.any(q <= 0):
         # Cannot happen for rho(A) < 1 with b > 0 (Neumann series of a
         # non-negative matrix), so a violation indicates conditioning
