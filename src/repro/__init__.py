@@ -37,6 +37,7 @@ from repro.core import (
     AggregationProtocol,
     compare_power_modes,
     predicted_slots,
+    predicted_slots_cor1,
     predicted_slots_global,
     predicted_slots_oblivious,
 )
@@ -53,10 +54,12 @@ from repro.errors import (
 from repro.geometry import (
     PointSet,
     cluster_points,
+    cluster_points_total,
     exponential_line,
     grid_points,
     length_diversity,
     line_points,
+    make_deployment,
     uniform_disk,
     uniform_square,
 )
@@ -82,6 +85,7 @@ from repro.scheduling import (
     protocol_model_schedule,
     trivial_tdma_schedule,
 )
+from repro.runner import CellResult, SweepEngine, SweepReport, SweepSpec
 from repro.sinr import SINRModel
 from repro.spanning import AggregationTree, mst_edges
 
@@ -91,6 +95,7 @@ __all__ = [
     "AggregationSimulator",
     "AggregationTree",
     "COUNT",
+    "CellResult",
     "ConfigurationError",
     "ConflictGraph",
     "ConstructionError",
@@ -119,10 +124,14 @@ __all__ = [
     "ScheduleBuilder",
     "ScheduleError",
     "SimulationError",
+    "SweepEngine",
+    "SweepReport",
+    "SweepSpec",
     "UniformPower",
     "__version__",
     "arbitrary_graph",
     "cluster_points",
+    "cluster_points_total",
     "compare_power_modes",
     "exponential_line",
     "g1_graph",
@@ -130,11 +139,13 @@ __all__ = [
     "grid_points",
     "length_diversity",
     "line_points",
+    "make_deployment",
     "mean_power",
     "median_via_counting",
     "mst_edges",
     "oblivious_graph",
     "predicted_slots",
+    "predicted_slots_cor1",
     "predicted_slots_global",
     "predicted_slots_oblivious",
     "protocol_model_schedule",

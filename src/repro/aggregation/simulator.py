@@ -41,6 +41,7 @@ class SimulationResult:
 
     frames_injected: int
     frames_completed: int
+    frames_requested: int = 0
     latencies: List[int] = field(default_factory=list)
     max_backlog: int = 0
     final_backlog: int = 0
@@ -65,9 +66,24 @@ class SimulationResult:
         return max(self.latencies) if self.latencies else 0
 
     @property
+    def truncated(self) -> bool:
+        """Whether ``max_slots`` stopped the run before all requested
+        frames were even injected."""
+        return self.frames_injected < self.frames_requested
+
+    @property
     def stable(self) -> bool:
-        """Whether the run drained: every injected frame completed."""
-        return self.frames_completed == self.frames_injected
+        """Whether the run drained: every **requested** frame was
+        injected and completed.
+
+        A run that hits ``max_slots`` before injecting all frames must
+        not report stability just because the few frames it did inject
+        happened to complete — that is a truncated run, not a drained
+        one.
+        """
+        return (
+            not self.truncated and self.frames_completed == self.frames_injected
+        )
 
 
 class _NodeState:
@@ -166,7 +182,9 @@ class AggregationSimulator:
         sink = self.tree.sink
         completed: Dict[int, int] = {}
         injected_at: Dict[int, int] = {}
-        result = SimulationResult(frames_injected=0, frames_completed=0)
+        result = SimulationResult(
+            frames_injected=0, frames_completed=0, frames_requested=num_frames
+        )
 
         for slot_time in range(max_slots):
             if slot_time % injection_period == 0:

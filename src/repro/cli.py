@@ -2,57 +2,81 @@
 
 Subcommands
 -----------
-``schedule``  — build a certified schedule for a random deployment and
+``schedule``   — build a certified schedule for a random deployment and
 print the build report.
-``simulate``  — additionally run the frame-level convergecast simulator.
-``compare``   — tabulate all power regimes on one instance.
+``simulate``   — additionally run the frame-level convergecast simulator.
+``compare``    — tabulate all power regimes on one instance.
+``experiment`` — regenerate a paper experiment from the registry.
+``sweep``      — run a declarative scenario grid through the sweep
+engine (parallel workers, JSONL persistence, resume).
+
+Library failures (:class:`~repro.errors.ReproError` subclasses) are
+printed to stderr and exit with status 2 — no tracebacks for
+configuration mistakes.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.capacity import compare_power_modes
 from repro.core.protocol import AggregationProtocol
-from repro.geometry.generators import (
-    cluster_points,
-    exponential_line,
-    grid_points,
-    uniform_disk,
-    uniform_square,
-)
+from repro.errors import ReproError
+from repro.geometry.generators import TOPOLOGIES, make_deployment, topology_uses_seed
 from repro.scheduling.builder import PowerMode
 from repro.sinr.model import SINRModel
 
 __all__ = ["main", "build_parser"]
 
 
-def _make_points(args: argparse.Namespace):
-    if args.topology == "square":
-        return uniform_square(args.n, rng=args.seed)
-    if args.topology == "disk":
-        return uniform_disk(args.n, rng=args.seed)
-    if args.topology == "grid":
-        side = max(2, int(round(args.n**0.5)))
-        return grid_points(side, side)
-    if args.topology == "clusters":
-        per = max(2, args.n // 10)
-        return cluster_points(10, per, rng=args.seed)
-    if args.topology == "exponential":
-        return exponential_line(args.n)
-    raise SystemExit(f"unknown topology {args.topology!r}")
+def _effective_seed(args: argparse.Namespace) -> int:
+    """The seed to use (default 0), warning when it would be ignored.
+
+    ``--seed`` defaults to ``None`` so an *explicit* seed on a
+    deterministic topology (``grid``, ``exponential``) can be detected
+    and called out instead of silently ignored.
+    """
+    if args.seed is not None and not topology_uses_seed(args.topology):
+        print(
+            f"warning: --seed is ignored for the deterministic "
+            f"topology {args.topology!r}",
+            file=sys.stderr,
+        )
+    return 0 if args.seed is None else args.seed
+
+
+def _int_list(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated ints, got {text!r}")
+
+
+def _float_list(text: str) -> List[float]:
+    try:
+        return [float(part) for part in text.split(",") if part]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated floats, got {text!r}"
+        )
+
+
+def _str_list(text: str) -> List[str]:
+    return [part for part in text.split(",") if part]
 
 
 def _add_instance_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--n", type=int, default=100, help="number of nodes")
+    parser.add_argument("--topology", choices=list(TOPOLOGIES), default="square")
     parser.add_argument(
-        "--topology",
-        choices=["square", "disk", "grid", "clusters", "exponential"],
-        default="square",
+        "--seed",
+        type=int,
+        default=None,
+        help="RNG seed (default 0; ignored — with a warning — for the "
+        "deterministic grid/exponential topologies)",
     )
-    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
     parser.add_argument("--alpha", type=float, default=3.0, help="path-loss exponent")
     parser.add_argument("--beta", type=float, default=1.0, help="SINR threshold")
 
@@ -93,11 +117,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument("--alpha", type=float, default=3.0)
     p_exp.add_argument("--beta", type=float, default=1.0)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a scenario grid through the sweep engine",
+        description="Run every (topology x n x mode x alpha x beta x seed) cell "
+        "of the grid, in parallel, writing one JSONL record per cell.",
+    )
+    p_sweep.add_argument(
+        "--topology",
+        type=_str_list,
+        default=["square"],
+        help=f"comma-separated topologies ({','.join(TOPOLOGIES)})",
+    )
+    p_sweep.add_argument(
+        "--n", type=_int_list, default=[100], help="comma-separated node counts"
+    )
+    p_sweep.add_argument(
+        "--mode",
+        type=_str_list,
+        default=["global"],
+        help="comma-separated power modes "
+        f"({','.join(m.value for m in PowerMode)})",
+    )
+    p_sweep.add_argument(
+        "--alpha", type=_float_list, default=[3.0], help="comma-separated alphas"
+    )
+    p_sweep.add_argument(
+        "--beta", type=_float_list, default=[1.0], help="comma-separated betas"
+    )
+    p_sweep.add_argument(
+        "--seeds", type=int, default=1, help="random repetitions per grid point"
+    )
+    p_sweep.add_argument(
+        "--base-seed", type=int, default=0, help="offset of the seed axis"
+    )
+    p_sweep.add_argument(
+        "--frames", type=int, default=0, help="frames to simulate per cell (0 = none)"
+    )
+    p_sweep.add_argument("--out", default=None, help="output JSONL path")
+    p_sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p_sweep.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="re-run every cell even if --out already records it",
+    )
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.runner import SweepEngine, SweepSpec
+
+    spec = SweepSpec(
+        topologies=tuple(args.topology),
+        ns=tuple(args.n),
+        modes=tuple(args.mode),
+        alphas=tuple(args.alpha),
+        betas=tuple(args.beta),
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        num_frames=args.frames,
+    )
+    engine = SweepEngine(
+        spec, jobs=args.jobs, out_path=args.out, resume=not args.no_resume
+    )
+    report = engine.run()
+    print(report.summary())
+    print(report.table())
+    if args.out:
+        print(f"wrote {len(report.results)} records to {args.out}")
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "sweep":
+        return _run_sweep(args)
+
     model = SINRModel(alpha=args.alpha, beta=args.beta)
 
     if args.command == "experiment":
@@ -109,14 +204,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(run_experiment(args.id, model))
         return 0
 
-    points = _make_points(args)
+    seed = _effective_seed(args)
+    points = make_deployment(args.topology, args.n, rng=seed)
 
     if args.command == "schedule":
         result = AggregationProtocol(args.mode, model=model).build(points)
         print(result.summary())
     elif args.command == "simulate":
         result = AggregationProtocol(args.mode, model=model).build(
-            points, num_frames=args.frames, rng=args.seed
+            points, num_frames=args.frames, rng=seed
         )
         print(result.summary())
     elif args.command == "compare":
@@ -126,6 +222,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"n={comparison.n} diversity={comparison.diversity:.4g}")
         print(comparison.table())
     return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

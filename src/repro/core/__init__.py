@@ -4,6 +4,7 @@ from repro.core.capacity import CapacityComparison, compare_power_modes
 from repro.core.protocol import AggregationProtocol
 from repro.core.theory import (
     predicted_slots,
+    predicted_slots_cor1,
     predicted_slots_global,
     predicted_slots_oblivious,
 )
@@ -13,6 +14,7 @@ __all__ = [
     "CapacityComparison",
     "compare_power_modes",
     "predicted_slots",
+    "predicted_slots_cor1",
     "predicted_slots_global",
     "predicted_slots_oblivious",
 ]

@@ -7,7 +7,10 @@ Each paper artefact can be regenerated without pytest:
 
 The registry mirrors the benchmark suite (DESIGN.md experiment index)
 at a slightly smaller default scale so any experiment finishes in
-seconds; the benches remain the canonical, asserted versions.
+seconds; the benches remain the canonical, asserted versions.  The
+multi-instance experiments (THM1, THM2, BASE) run through the sweep
+engine (:mod:`repro.runner`) — the same machinery behind the ``sweep``
+CLI, just inline and single-process.
 """
 
 from __future__ import annotations
@@ -16,10 +19,9 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.core.capacity import compare_power_modes
 from repro.core.theory import predicted_slots_global, predicted_slots_oblivious
 from repro.errors import ConfigurationError
-from repro.geometry.generators import exponential_line, uniform_square
+from repro.geometry.generators import uniform_square
 from repro.lowerbounds.logstar_instance import RecursiveLogStarInstance
 from repro.lowerbounds.mst_suboptimal import MstSuboptimalFamily
 from repro.lowerbounds.oblivious_chain import DoublyExponentialChain
@@ -58,31 +60,63 @@ def _fig1(model: SINRModel) -> str:
     )
 
 
+def _sweep_records(spec):
+    """Run a spec inline through the sweep engine, indexed by (n, mode).
+
+    The registry always runs single-process (``jobs=1``) — these are
+    seconds-fast artefacts; the ``sweep`` CLI is the parallel surface.
+    """
+    from repro.runner.engine import SweepEngine
+
+    report = SweepEngine(spec, jobs=1).run()
+    failed = [r for r in report.results if not r.ok]
+    if failed:
+        raise ConfigurationError(
+            f"experiment sweep cell failed: {failed[0].cell_id}: {failed[0].error}"
+        )
+    return {(r.n, r.mode): r for r in report.results}
+
+
 def _thm1(model: SINRModel) -> str:
+    from repro.runner.spec import SweepSpec
+
+    spec = SweepSpec(
+        topologies=("square",),
+        ns=(50, 150, 450),
+        modes=("global", "oblivious"),
+        alphas=(model.alpha,),
+        betas=(model.beta,),
+        base_seed=3,
+    )
+    records = _sweep_records(spec)
     lines = [f"{'n':>5}{'Delta':>10}{'global':>8}{'log*':>6}{'oblivious':>10}{'loglog':>8}"]
-    for n in (50, 150, 450):
-        links = AggregationTree.mst(uniform_square(n, rng=3)).links()
-        g = ScheduleBuilder(model, "global").build(links).num_slots
-        o = ScheduleBuilder(model, "oblivious").build(links).num_slots
+    for n in spec.ns:
+        g, o = records[(n, "global")], records[(n, "oblivious")]
         lines.append(
-            f"{n:>5}{links.diversity:>10.3g}{g:>8}"
-            f"{predicted_slots_global(links.diversity):>6.0f}{o:>10}"
-            f"{predicted_slots_oblivious(links.diversity):>8.1f}"
+            f"{n:>5}{g.diversity:>10.3g}{g.slots:>8}"
+            f"{predicted_slots_global(g.diversity):>6.0f}{o.slots:>10}"
+            f"{predicted_slots_oblivious(o.diversity):>8.1f}"
         )
     return "\n".join(["THM1: MST schedule length vs n"] + lines)
 
 
 def _thm2(model: SINRModel) -> str:
-    from repro.coloring.greedy import greedy_coloring
-    from repro.coloring.refinement import refine_by_interference
-    from repro.conflict.graph import g1_graph
+    from repro.runner.spec import SweepSpec
 
+    spec = SweepSpec(
+        topologies=("square",),
+        ns=(50, 200, 500),
+        modes=("global",),
+        alphas=(model.alpha,),
+        betas=(model.beta,),
+        base_seed=5,
+        measure=("g1",),
+    )
+    records = _sweep_records(spec)
     lines = [f"{'n':>5}{'chi(G1)':>9}{'refine t':>10}"]
-    for n in (50, 200, 500):
-        links = AggregationTree.mst(uniform_square(n, rng=5)).links()
-        chi = int(greedy_coloring(g1_graph(links)).max()) + 1
-        t = len(refine_by_interference(links, model.alpha))
-        lines.append(f"{n:>5}{chi:>9}{t:>10}")
+    for n in spec.ns:
+        r = records[(n, "global")]
+        lines.append(f"{n:>5}{r.g1_colors:>9}{r.refine_t:>10}")
     return "\n".join(["THM2: chi(G1(MST)) is constant"] + lines)
 
 
@@ -125,14 +159,23 @@ def _fig4(model: SINRModel) -> str:
 
 
 def _base(model: SINRModel) -> str:
+    from repro.runner.spec import SweepSpec
+
+    spec = SweepSpec(
+        topologies=("exponential",),
+        ns=(10, 16),
+        modes=("global", "oblivious", "uniform"),
+        alphas=(model.alpha,),
+        betas=(model.beta,),
+    )
+    records = _sweep_records(spec)
     lines = []
-    for n in (10, 16):
-        comparison = compare_power_modes(exponential_line(n), model=model)
-        by = comparison.by_strategy()
+    for n in spec.ns:
+        # TDMA on a tree is exactly one link per slot: n-1 slots.
         lines.append(
-            f"chain n={n}: global={by['global'].slots} "
-            f"oblivious={by['oblivious'].slots} uniform={by['uniform-greedy'].slots} "
-            f"tdma={by['tdma'].slots}"
+            f"chain n={n}: global={records[(n, 'global')].slots} "
+            f"oblivious={records[(n, 'oblivious')].slots} "
+            f"uniform={records[(n, 'uniform')].slots} tdma={n - 1}"
         )
     return "\n".join(["BASE: the power-control gap"] + lines)
 

@@ -17,6 +17,7 @@ __all__ = [
     "predicted_slots_oblivious",
     "predicted_slots_uniform_random",
     "predicted_slots",
+    "predicted_slots_cor1",
 ]
 
 
@@ -47,4 +48,22 @@ def predicted_slots(mode: PowerMode | str, diversity: float, n: int) -> float:
         return predicted_slots_oblivious(diversity)
     # Uniform / linear power carry no near-constant guarantee; the
     # honest prediction is the random-network logarithmic form.
+    return predicted_slots_uniform_random(n)
+
+
+def predicted_slots_cor1(mode: PowerMode | str, n: int) -> float:
+    """Corollary 1, random deployments: the diversity of a random
+    ``n``-point instance is polynomial in ``n`` w.h.p., so the Theorem 1
+    bounds become ``O(log* n)`` (global) / ``O(log log n)`` (oblivious)
+    in the node count alone (unit constants, clamped at 1).
+
+    This is the per-``n`` reference the sweep engine's summary tables
+    report next to measured slot counts for random topologies.
+    """
+    mode = PowerMode(mode)
+    n = max(int(n), 2)
+    if mode is PowerMode.GLOBAL:
+        return max(1.0, float(log_star(n)))
+    if mode is PowerMode.OBLIVIOUS:
+        return max(1.0, loglog(n))
     return predicted_slots_uniform_random(n)

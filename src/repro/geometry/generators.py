@@ -18,14 +18,21 @@ from repro.geometry.point import PointSet
 from repro.util.rng import RngLike, as_generator
 
 __all__ = [
+    "TOPOLOGIES",
     "cluster_points",
+    "cluster_points_total",
     "exponential_line",
     "grid_points",
     "line_points",
+    "make_deployment",
     "poisson_points",
+    "topology_uses_seed",
     "uniform_disk",
     "uniform_square",
 ]
+
+#: Named deployment families served by :func:`make_deployment`.
+TOPOLOGIES = ("square", "disk", "grid", "clusters", "exponential")
 
 #: Retry budget for rejection-sampling distinct points.
 _MAX_ATTEMPTS = 64
@@ -171,3 +178,81 @@ def cluster_points(
         return (centres[:, None, :] + offsets).reshape(-1, 2)
 
     return _distinct_or_retry(sample, clusters * per_cluster)
+
+
+def cluster_points_total(
+    n: int,
+    clusters: int = 10,
+    *,
+    cluster_std: float = 0.01,
+    side: float = 1.0,
+    rng: RngLike = None,
+) -> PointSet:
+    """Gaussian clusters holding **exactly** ``n`` points in total.
+
+    Unlike :func:`cluster_points` (which takes a uniform per-cluster
+    count), the remainder ``n mod clusters`` is distributed one extra
+    point per cluster starting from the first, so the returned set
+    always has ``len == n``.  When ``n < clusters`` the cluster count is
+    reduced to ``n`` (one point per cluster).
+    """
+    _require_count(n)
+    _require_count(clusters)
+    if cluster_std <= 0 or side <= 0:
+        raise ConfigurationError("cluster_std and side must be positive")
+    clusters = min(int(clusters), int(n))
+    base, rem = divmod(int(n), clusters)
+    counts = [base + (1 if c < rem else 0) for c in range(clusters)]
+    gen = as_generator(rng)
+
+    def sample(_k: int) -> np.ndarray:
+        centres = gen.uniform(0.0, side, size=(clusters, 2))
+        return np.vstack(
+            [
+                centres[c] + gen.normal(0.0, cluster_std, size=(counts[c], 2))
+                for c in range(clusters)
+            ]
+        )
+
+    return _distinct_or_retry(sample, n)
+
+
+def topology_uses_seed(topology: str) -> bool:
+    """Whether :func:`make_deployment` draws randomness for ``topology``.
+
+    ``grid`` and ``exponential`` are deterministic constructions: a seed
+    passed for them is ignored, and callers (the CLI, the sweep engine)
+    may want to warn the user about that.
+    """
+    return topology in ("square", "disk", "clusters")
+
+
+def make_deployment(topology: str, n: int, *, rng: RngLike = None) -> PointSet:
+    """Build an ``n``-point deployment of one of the named ``TOPOLOGIES``.
+
+    This is the single dispatch used by the CLI and the sweep engine, so
+    every entry point honours ``n`` exactly:
+
+    * ``square`` / ``disk`` — uniform in the unit square / disk;
+    * ``grid`` — the first ``n`` points (row-major) of the smallest
+      square grid with at least ``n`` cells;
+    * ``clusters`` — :func:`cluster_points_total` over 10 clusters with
+      the remainder distributed;
+    * ``exponential`` — the exponentially spaced chain (deterministic).
+    """
+    _require_count(n)
+    if topology == "square":
+        return uniform_square(n, rng=rng)
+    if topology == "disk":
+        return uniform_disk(n, rng=rng)
+    if topology == "grid":
+        side = max(2, math.ceil(math.sqrt(n)))
+        full = grid_points(side, side)
+        return PointSet(full.coords[:n], check=False)
+    if topology == "clusters":
+        return cluster_points_total(n, rng=rng)
+    if topology == "exponential":
+        return exponential_line(n)
+    raise ConfigurationError(
+        f"unknown topology {topology!r}; available: {', '.join(TOPOLOGIES)}"
+    )

@@ -1,0 +1,47 @@
+"""Scenario sweep engine: declarative, parallel, persisted runs.
+
+The paper's theorems are statements over *families* of instances; this
+package is the subsystem that runs those families.  A
+:class:`SweepSpec` declares the grid (topology x n x power-mode x model
+parameters x seeds), a :class:`SweepEngine` executes its cells — in
+parallel worker processes with deterministic per-cell seeding and
+error isolation — and :mod:`repro.runner.results` persists one typed
+record per cell as JSONL with group-by summaries keyed to the Theorem 1
+/ Corollary 1 predictions.
+
+>>> from repro.runner import SweepEngine, SweepSpec
+>>> spec = SweepSpec(topologies=("square",), ns=(30,), modes=("global",), seeds=2)
+>>> report = SweepEngine(spec).run()
+>>> len(report.results)
+2
+"""
+
+from repro.runner.engine import SweepEngine, SweepReport, run_cell
+from repro.runner.results import (
+    CellResult,
+    TIMING_FIELDS,
+    append_result,
+    completed_cell_ids,
+    group_summary,
+    read_results,
+    summary_table,
+    write_results,
+)
+from repro.runner.spec import MEASUREMENTS, CellSpec, SweepSpec
+
+__all__ = [
+    "CellResult",
+    "CellSpec",
+    "MEASUREMENTS",
+    "SweepEngine",
+    "SweepReport",
+    "SweepSpec",
+    "TIMING_FIELDS",
+    "append_result",
+    "completed_cell_ids",
+    "group_summary",
+    "read_results",
+    "run_cell",
+    "summary_table",
+    "write_results",
+]

@@ -1,0 +1,301 @@
+"""The sweep execution engine.
+
+Executes the cells of a :class:`~repro.runner.spec.SweepSpec` with:
+
+* **parallelism** — ``jobs > 1`` fans cells out over a
+  ``concurrent.futures`` process pool.  Each worker process builds its
+  own deployments and link sets, so the PR-1 kernel caches are
+  per-worker by construction (no shared mutable state, no lock traffic);
+  ``jobs == 1`` runs inline in-process (fully deterministic, easiest to
+  debug and monkeypatch in tests).
+* **deterministic seeding** — a cell's deployment *and* simulation RNG
+  are seeded from the cell spec alone, so reruns and resumed runs
+  produce identical records regardless of scheduling order.
+* **error isolation** — :func:`run_cell` converts any
+  :class:`~repro.errors.ReproError` (or unexpected exception) into an
+  ``status == "error"`` record; one infeasible or overflowing cell
+  never kills the sweep.
+* **incremental, ordered persistence** — completed records are appended
+  to the output JSONL through a reorder buffer that flushes rows in
+  canonical cell order, so the file is crash-resumable *and* two runs
+  of the same spec are byte-identical modulo timing fields.
+* **resume** — cells whose ids already appear as ``ok`` rows in the
+  output file are skipped; failed rows are retried.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.errors import ConfigurationError, ReproError
+from repro.geometry.generators import make_deployment
+from repro.runner.results import (
+    CellResult,
+    append_result,
+    attach_predictions,
+    read_results,
+    summary_table,
+    write_results,
+)
+from repro.runner.spec import CellSpec, SweepSpec
+from repro.scheduling.builder import ScheduleBuilder
+from repro.sinr.model import SINRModel
+from repro.spanning.tree import AggregationTree
+
+__all__ = ["SweepEngine", "SweepReport", "run_cell"]
+
+
+def run_cell(cell: CellSpec) -> CellResult:
+    """Execute one sweep cell (module-level, hence pool-picklable).
+
+    Builds the deployment, MST and certified schedule (and/or the
+    Theorem-2 coloring quantities), optionally simulates convergecast,
+    and returns the typed record.  All failures are captured in the
+    record rather than raised.
+    """
+    result = CellResult(
+        cell_id=cell.cell_id,
+        topology=cell.topology,
+        n=cell.n,
+        mode=cell.mode,
+        alpha=cell.alpha,
+        beta=cell.beta,
+        seed=cell.seed,
+    )
+    start = time.perf_counter()
+    try:
+        model = SINRModel(alpha=cell.alpha, beta=cell.beta)
+        points = make_deployment(cell.topology, cell.n, rng=cell.seed)
+        tree = AggregationTree.mst(points)
+        links = tree.links()
+        result.diversity = float(links.diversity)
+
+        if "schedule" in cell.measure:
+            builder = ScheduleBuilder(model, cell.mode)
+            schedule, report = builder.build_with_report(links)
+            result.slots = report.final_slots
+            result.rate = report.rate
+            result.initial_colors = report.initial_colors
+            result.split_classes = report.split_classes
+            if cell.num_frames > 0:
+                from repro.aggregation.simulator import AggregationSimulator
+
+                sim = AggregationSimulator(tree, schedule).run(
+                    cell.num_frames, rng=cell.seed
+                )
+                result.frames_injected = sim.frames_injected
+                result.frames_completed = sim.frames_completed
+                result.mean_latency = float(sim.mean_latency)
+                result.max_latency = int(sim.max_latency)
+                result.stable = bool(sim.stable)
+
+        if "g1" in cell.measure:
+            from repro.coloring.greedy import greedy_coloring
+            from repro.coloring.refinement import refine_by_interference
+            from repro.conflict.graph import g1_graph
+
+            result.g1_colors = int(greedy_coloring(g1_graph(links)).max()) + 1
+            result.refine_t = len(refine_by_interference(links, model.alpha))
+
+        attach_predictions(result)
+    except ReproError as exc:
+        result.status = "error"
+        result.error = f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # pragma: no cover - defensive
+        result.status = "error"
+        result.error = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+    result.wall_time_s = time.perf_counter() - start
+    return result
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one :meth:`SweepEngine.run` call."""
+
+    spec: SweepSpec
+    results: List[CellResult] = field(default_factory=list)
+    executed: int = 0
+    skipped: int = 0
+    failed: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return self.spec.num_cells
+
+    def summary(self) -> str:
+        return (
+            f"sweep: {self.total} cells, {self.executed} executed, "
+            f"{self.skipped} resumed, {self.failed} failed "
+            f"({self.wall_time_s:.1f}s)"
+        )
+
+    def table(self) -> str:
+        return summary_table(self.results)
+
+
+class SweepEngine:
+    """Runs every cell of a spec, in parallel, with persistence.
+
+    Parameters
+    ----------
+    spec:
+        The scenario grid.
+    jobs:
+        Worker processes; 1 runs inline (no pool).
+    out_path:
+        Target JSONL file.  ``None`` keeps results in memory only (and
+        disables resume).
+    resume:
+        When true (default) and the output file exists, cells already
+        recorded as ``ok`` are not re-executed; their rows are kept.
+    cell_runner:
+        Override of :func:`run_cell` — for tests with ``jobs == 1``
+        (a pool requires a picklable module-level function).
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        *,
+        jobs: int = 1,
+        out_path: Optional[Union[str, Path]] = None,
+        resume: bool = True,
+        cell_runner: Callable[[CellSpec], CellResult] = run_cell,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.spec = spec
+        self.jobs = jobs
+        self.out_path = Path(out_path) if out_path is not None else None
+        self.resume = resume
+        self.cell_runner = cell_runner
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _satisfies(row: CellResult, cell: CellSpec) -> bool:
+        """Whether a persisted ``ok`` row covers everything ``cell`` asks
+        for — the resume check is content-based, so raising ``--frames``
+        or adding a measurement re-runs the cell instead of silently
+        reusing a row that lacks the newly requested fields."""
+        if not row.ok:
+            return False
+        if "schedule" in cell.measure and row.slots is None:
+            return False
+        if "g1" in cell.measure and row.g1_colors is None:
+            return False
+        if cell.num_frames > 0 and row.frames_injected is None:
+            return False
+        return True
+
+    def run(self) -> SweepReport:
+        """Execute all pending cells and return the full report.
+
+        ``report.results`` holds one record per grid cell in canonical
+        order — resumed rows are loaded back from the output file so the
+        caller always sees the complete sweep.  Rows belonging to a
+        *different* grid stored in the same file are preserved (the file
+        stays a union of sweeps), just moved ahead of this spec's block.
+        """
+        start = time.perf_counter()
+        cells = list(self.spec.cells())
+        by_id = {c.cell_id: c for c in cells}
+        done: Dict[str, CellResult] = {}
+        foreign: List[CellResult] = []
+        had_existing_rows = False
+        if self.out_path is not None:
+            if self.resume and self.out_path.exists():
+                for row in read_results(self.out_path):
+                    had_existing_rows = True
+                    cell = by_id.get(row.cell_id)
+                    if cell is None:
+                        foreign.append(row)
+                    elif self._satisfies(row, cell):
+                        done[row.cell_id] = row
+            else:
+                # Fresh run: start the file empty so the incremental
+                # appends below are the only content.
+                self.out_path.write_text("")
+        pending = [c for c in cells if c.cell_id not in done]
+
+        report = SweepReport(spec=self.spec, skipped=len(done))
+        fresh = self._execute(pending)
+
+        merged = [done.get(c.cell_id) or fresh[c.cell_id] for c in cells]
+        if self.out_path is not None and had_existing_rows:
+            # Canonicalise after a resume interleave: foreign rows first
+            # (original order), then this spec's block in cell order.  A
+            # fresh run skips this — the incremental appends already
+            # wrote exactly the canonical content.
+            write_results(self.out_path, foreign + merged)
+
+        report.results = merged
+        report.executed = len(fresh)
+        report.failed = sum(1 for r in fresh.values() if not r.ok)
+        report.wall_time_s = time.perf_counter() - start
+        return report
+
+    # ------------------------------------------------------------------
+    def _execute(self, pending: List[CellSpec]) -> Dict[str, CellResult]:
+        """Run the pending cells, appending records as they complete.
+
+        Completed records are flushed to the output file through a
+        reorder buffer, so on-disk order always follows the pending
+        list even when the pool finishes cells out of order.
+        """
+        fresh: Dict[str, CellResult] = {}
+        if not pending:
+            return fresh
+        flush_index = 0
+
+        def flush() -> None:
+            nonlocal flush_index
+            while flush_index < len(pending):
+                cell = pending[flush_index]
+                if cell.cell_id not in fresh:
+                    break
+                if self.out_path is not None:
+                    append_result(self.out_path, fresh[cell.cell_id])
+                flush_index += 1
+
+        if self.jobs == 1:
+            for cell in pending:
+                fresh[cell.cell_id] = self.cell_runner(cell)
+                flush()
+            return fresh
+
+        if self.cell_runner is not run_cell:
+            raise ConfigurationError(
+                "a custom cell_runner requires jobs=1 (pools need the "
+                "module-level run_cell)"
+            )
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {pool.submit(run_cell, cell): cell for cell in pending}
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    cell = futures[fut]
+                    try:
+                        fresh[cell.cell_id] = fut.result()
+                    except Exception as exc:  # pragma: no cover - pool death
+                        fresh[cell.cell_id] = CellResult(
+                            cell_id=cell.cell_id,
+                            topology=cell.topology,
+                            n=cell.n,
+                            mode=cell.mode,
+                            alpha=cell.alpha,
+                            beta=cell.beta,
+                            seed=cell.seed,
+                            status="error",
+                            error=f"worker failure: {exc!r}",
+                        )
+                flush()
+        return fresh

@@ -1,0 +1,197 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` is the full description of a scenario family: the
+cartesian grid ``topology x n x power-mode x alpha x beta x seed``.  It
+validates eagerly (so a sweep never dies halfway through on a malformed
+axis) and enumerates its cells deterministically — the enumeration
+order *is* the canonical cell order used for JSONL persistence and for
+resume manifests.
+
+>>> spec = SweepSpec(topologies=("square",), ns=(50, 100), modes=("global",))
+>>> [c.cell_id for c in spec.cells()]           # doctest: +SKIP
+['square/n50/global/a3/b1/s0', 'square/n100/global/a3/b1/s0']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Iterator, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.geometry.generators import TOPOLOGIES
+from repro.scheduling.builder import PowerMode
+
+__all__ = ["CellSpec", "SweepSpec", "MEASUREMENTS"]
+
+#: Measurements a sweep cell can record.  ``schedule`` runs the full
+#: builder pipeline (slots, rate, optional simulation); ``g1`` computes
+#: the Theorem-2 quantities (chi(G1) and the refinement constant).
+MEASUREMENTS = ("schedule", "g1")
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One point of the sweep grid — everything a worker needs.
+
+    ``seed`` is the absolute deployment seed (``base_seed + seed
+    index``); the same value seeds the simulation RNG, so a cell is a
+    pure function of its spec.
+    """
+
+    topology: str
+    n: int
+    mode: str
+    alpha: float
+    beta: float
+    seed: int
+    num_frames: int = 0
+    measure: Tuple[str, ...] = ("schedule",)
+
+    @property
+    def cell_id(self) -> str:
+        """Stable identifier used in JSONL rows and resume manifests."""
+        return (
+            f"{self.topology}/n{self.n}/{self.mode}"
+            f"/a{self.alpha:g}/b{self.beta:g}/s{self.seed}"
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The declarative grid of scenarios to run.
+
+    Parameters
+    ----------
+    topologies:
+        Deployment families (see :data:`repro.geometry.TOPOLOGIES`).
+    ns:
+        Node counts (each >= 2 so the MST has at least one link).
+    modes:
+        Power-control modes (:class:`PowerMode` values).
+    alphas, betas:
+        SINR model parameter axes (paper constraints: ``alpha > 2``,
+        ``beta > 0``).
+    seeds:
+        Number of random repetitions per grid point; cell ``k`` of a
+        grid point uses deployment seed ``base_seed + k``.
+    base_seed:
+        Offset of the seed axis; two sweeps with different base seeds
+        draw disjoint (and individually reproducible) instances.
+    num_frames:
+        Frames of convergecast to simulate per cell (0 = schedule only).
+    measure:
+        Which measurements to record (subset of :data:`MEASUREMENTS`).
+    """
+
+    topologies: Tuple[str, ...]
+    ns: Tuple[int, ...]
+    modes: Tuple[str, ...]
+    alphas: Tuple[float, ...] = (3.0,)
+    betas: Tuple[float, ...] = (1.0,)
+    seeds: int = 1
+    base_seed: int = 0
+    num_frames: int = 0
+    measure: Tuple[str, ...] = ("schedule",)
+
+    def __post_init__(self) -> None:
+        # Normalise sequences to tuples so specs hash and compare.
+        for name in ("topologies", "ns", "modes", "alphas", "betas", "measure"):
+            value = getattr(self, name)
+            if isinstance(value, (str, int, float)):
+                raise ConfigurationError(f"{name} must be a sequence, got {value!r}")
+            object.__setattr__(self, name, tuple(value))
+        self._require_axis("topologies", self.topologies)
+        self._require_axis("ns", self.ns)
+        self._require_axis("modes", self.modes)
+        self._require_axis("alphas", self.alphas)
+        self._require_axis("betas", self.betas)
+        self._require_axis("measure", self.measure)
+        for topology in self.topologies:
+            if topology not in TOPOLOGIES:
+                raise ConfigurationError(
+                    f"unknown topology {topology!r}; available: {', '.join(TOPOLOGIES)}"
+                )
+        for n in self.ns:
+            if not isinstance(n, int) or n < 2:
+                raise ConfigurationError(f"each n must be an int >= 2, got {n!r}")
+        for mode in self.modes:
+            try:
+                PowerMode(mode)
+            except ValueError:
+                raise ConfigurationError(
+                    f"unknown mode {mode!r}; available: "
+                    + ", ".join(m.value for m in PowerMode)
+                ) from None
+        for alpha in self.alphas:
+            if alpha <= 2:
+                raise ConfigurationError(f"alpha must exceed 2, got {alpha}")
+        for beta in self.betas:
+            if beta <= 0:
+                raise ConfigurationError(f"beta must be positive, got {beta}")
+        for m in self.measure:
+            if m not in MEASUREMENTS:
+                raise ConfigurationError(
+                    f"unknown measurement {m!r}; available: {', '.join(MEASUREMENTS)}"
+                )
+        if self.seeds < 1:
+            raise ConfigurationError(f"seeds must be >= 1, got {self.seeds}")
+        if self.num_frames < 0:
+            raise ConfigurationError(f"num_frames must be >= 0, got {self.num_frames}")
+
+    @staticmethod
+    def _require_axis(name: str, values: Sequence) -> None:
+        if len(values) == 0:
+            raise ConfigurationError(f"{name} must not be empty")
+        if len(set(values)) != len(values):
+            raise ConfigurationError(f"{name} contains duplicates: {values!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        """Grid size: product of all axis lengths."""
+        return (
+            len(self.topologies)
+            * len(self.ns)
+            * len(self.modes)
+            * len(self.alphas)
+            * len(self.betas)
+            * self.seeds
+        )
+
+    def cells(self) -> Iterator[CellSpec]:
+        """Enumerate cells in canonical (deterministic) order.
+
+        The nesting order is topology -> n -> mode -> alpha -> beta ->
+        seed, matching the axis order of the dataclass fields.
+        """
+        modes = tuple(PowerMode(m).value for m in self.modes)
+        for topology in self.topologies:
+            for n in self.ns:
+                for mode in modes:
+                    for alpha in self.alphas:
+                        for beta in self.betas:
+                            for k in range(self.seeds):
+                                yield CellSpec(
+                                    topology=topology,
+                                    n=n,
+                                    mode=mode,
+                                    alpha=alpha,
+                                    beta=beta,
+                                    seed=self.base_seed + k,
+                                    num_frames=self.num_frames,
+                                    measure=self.measure,
+                                )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form, for logging or re-creating a sweep."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SweepSpec":
+        """Inverse of :meth:`to_dict` (tolerates JSON's lists-for-tuples)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"unknown SweepSpec fields: {sorted(unknown)}")
+        return cls(**data)

@@ -86,6 +86,27 @@ class TestOverload:
         )
         assert result.stable
 
+    def test_truncated_run_is_not_stable(self, model):
+        # Regression: a tiny max_slots stops the run after the first
+        # injection; the one injected frame completes, but the run must
+        # not report stability — it never injected the other frames.
+        points = PointSet([0.0, 1.0])
+        tree = AggregationTree.mst(points, sink=0)
+        schedule = ScheduleBuilder(model, "global").build_for_tree(tree)
+        result = AggregationSimulator(tree, schedule).run(
+            5, max_slots=schedule.num_slots, rng=0
+        )
+        assert result.frames_injected < 5
+        assert result.frames_completed == result.frames_injected
+        assert result.truncated
+        assert not result.stable
+
+    def test_frames_requested_recorded(self, small_setup):
+        tree, schedule = small_setup
+        result = AggregationSimulator(tree, schedule).run(7)
+        assert result.frames_requested == 7
+        assert not result.truncated and result.stable
+
 
 class TestValidation:
     def test_rejects_zero_frames(self, small_setup):

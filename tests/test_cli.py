@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -51,3 +53,93 @@ class TestMain:
 
     def test_custom_model_params(self, capsys):
         assert main(["schedule", "--n", "20", "--alpha", "4.0", "--beta", "2.0"]) == 0
+
+
+class TestNodeCounts:
+    """``--n`` must be honored exactly, for every topology."""
+
+    @pytest.mark.parametrize("topology", ["square", "disk", "grid", "clusters"])
+    def test_n_is_exact(self, capsys, topology):
+        assert main(["schedule", "--n", "13", "--topology", topology]) == 0
+        assert "nodes=13 " in capsys.readouterr().out
+
+    def test_ignored_seed_warns(self, capsys):
+        assert main(["schedule", "--n", "9", "--topology", "grid", "--seed", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "nodes=9 " in captured.out
+        assert "--seed is ignored" in captured.err
+
+    def test_exponential_seed_warns(self, capsys):
+        assert (
+            main(["schedule", "--n", "8", "--topology", "exponential", "--seed", "1"])
+            == 0
+        )
+        assert "--seed is ignored" in capsys.readouterr().err
+
+    def test_no_warning_without_explicit_seed(self, capsys):
+        assert main(["schedule", "--n", "9", "--topology", "grid"]) == 0
+        assert capsys.readouterr().err == ""
+
+
+class TestErrorHandling:
+    """Library errors exit 2 with a message, never a traceback."""
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["experiment", "BOGUS"]) == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err and "unknown experiment" in captured.err
+
+    def test_invalid_model_exits_2(self, capsys):
+        assert main(["schedule", "--n", "10", "--alpha", "1.5"]) == 2
+        assert "alpha" in capsys.readouterr().err
+
+    def test_invalid_sweep_grid_exits_2(self, capsys):
+        assert main(["sweep", "--n", "1"]) == 2
+        assert "n must be" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_writes_one_row_per_cell(self, capsys, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        argv = [
+            "sweep", "--topology", "square,exponential", "--n", "8,12",
+            "--mode", "global", "--seeds", "2", "--out", str(out),
+        ]
+        assert main(argv) == 0
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(rows) == 8
+        assert all(row["status"] == "ok" for row in rows)
+        stdout = capsys.readouterr().out
+        assert "8 cells, 8 executed" in stdout and "meas/thm1" in stdout
+
+    def test_sweep_resumes(self, capsys, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        argv = ["sweep", "--n", "8", "--seeds", "2", "--out", str(out)]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        assert "2 cells, 0 executed, 2 resumed" in capsys.readouterr().out
+        assert len(out.read_text().splitlines()) == 2
+
+    def test_sweep_no_resume_reruns(self, capsys, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        argv = ["sweep", "--n", "8", "--out", str(out)]
+        assert main(argv) == 0
+        assert main(argv + ["--no-resume"]) == 0
+        assert "1 cells, 1 executed" in capsys.readouterr().out
+
+    def test_sweep_in_memory(self, capsys):
+        assert main(["sweep", "--n", "8", "--frames", "3"]) == 0
+        assert "1 cells, 1 executed" in capsys.readouterr().out
+
+    def test_sweep_parallel_jobs(self, capsys, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        argv = [
+            "sweep", "--n", "8,12", "--mode", "global,oblivious",
+            "--jobs", "2", "--out", str(out),
+        ]
+        assert main(argv) == 0
+        assert len(out.read_text().splitlines()) == 4
+
+    def test_bad_int_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--n", "10,banana"])
