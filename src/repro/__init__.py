@@ -27,6 +27,12 @@ from repro.aggregation import (
     median_via_counting,
     run_convergecast,
 )
+from repro.api import (
+    Pipeline,
+    PipelineConfig,
+    Registry,
+    RunArtifact,
+)
 from repro.conflict import (
     ConflictGraph,
     arbitrary_graph,
@@ -114,10 +120,14 @@ __all__ = [
     "MIN",
     "MstSuboptimalFamily",
     "ObliviousPower",
+    "Pipeline",
+    "PipelineConfig",
     "PointSet",
     "PowerMode",
     "RecursiveLogStarInstance",
+    "Registry",
     "ReproError",
+    "RunArtifact",
     "SINRModel",
     "SUM",
     "Schedule",

@@ -1,0 +1,65 @@
+"""repro.api — the registry-backed public composition surface.
+
+Five registries make every axis of the reproduction pluggable:
+
+* :data:`~repro.api.components.topologies` — deployment families,
+* :data:`~repro.api.components.trees` — aggregation-tree builders,
+* :data:`~repro.api.components.power_schemes` — power regimes,
+* :data:`~repro.api.components.schedulers` — link schedulers,
+* :data:`~repro.api.measurements.measurements` — sweep metric
+  extractors.
+
+A :class:`PipelineConfig` names one component per axis (validated
+eagerly, dict round-trip for provenance); a :class:`Pipeline` resolves
+the names and runs ``deploy -> tree -> links -> schedule -> simulate``,
+returning a provenance-stamped :class:`RunArtifact`.
+
+>>> from repro.api import Pipeline, PipelineConfig, trees
+>>> trees.names()
+('mst', 'matching', 'knn-mst')
+>>> cfg = PipelineConfig(topology="grid", n=9, tree="matching", power="oblivious")
+>>> artifact = Pipeline(cfg).run()
+>>> artifact.provenance["components"]["power_mode"]
+'oblivious'
+"""
+
+from repro.api.components import (
+    PowerSchemeSpec,
+    SchedulerSpec,
+    TopologySpec,
+    TreeSpec,
+    power_schemes,
+    register_topology,
+    register_tree,
+    schedulers,
+    topologies,
+    trees,
+)
+from repro.api.measurements import (
+    MeasurementContext,
+    measurements,
+    register_measurement,
+)
+from repro.api.config import PipelineConfig
+from repro.api.pipeline import Pipeline, RunArtifact
+from repro.api.registry import Registry
+
+__all__ = [
+    "MeasurementContext",
+    "Pipeline",
+    "PipelineConfig",
+    "PowerSchemeSpec",
+    "Registry",
+    "RunArtifact",
+    "SchedulerSpec",
+    "TopologySpec",
+    "TreeSpec",
+    "measurements",
+    "power_schemes",
+    "register_measurement",
+    "register_topology",
+    "register_tree",
+    "schedulers",
+    "topologies",
+    "trees",
+]

@@ -1,0 +1,123 @@
+"""A tiny generic component registry.
+
+Every pluggable axis of the library (topologies, tree builders, power
+schemes, schedulers, measurements) is a :class:`Registry` instance: a
+named, ordered mapping from string keys to components with helpful
+errors on unknown names.  Registries are the extension surface — a
+downstream user registers a component once and every entry point
+(:class:`~repro.api.pipeline.Pipeline`, the CLI, the sweep engine)
+accepts its name.
+
+>>> from repro.api.registry import Registry
+>>> widgets = Registry("widget")
+>>> @widgets.register("gear")
+... def make_gear():
+...     return "a gear"
+>>> widgets.names()
+('gear',)
+>>> widgets.get("gear")()
+'a gear'
+>>> "gear" in widgets
+True
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, Optional, Tuple, TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Registry"]
+
+T = TypeVar("T")
+
+#: Sentinel distinguishing ``register(name)`` (decorator form) from
+#: ``register(name, obj)`` (direct form) even when ``obj`` is falsy.
+_MISSING = object()
+
+
+class Registry(Generic[T]):
+    """An ordered name -> component mapping with validating lookups.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable component kind (``"topology"``, ``"tree
+        builder"``, ...) used in error messages.
+
+    Names are registered in definition order; :meth:`names` preserves
+    that order, so CLI ``choices=`` lists and docs stay stable.
+    """
+
+    def __init__(self, kind: str) -> None:
+        if not kind or not isinstance(kind, str):
+            raise ConfigurationError(f"registry kind must be a non-empty string, got {kind!r}")
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self, name: str, obj: T = _MISSING, *, overwrite: bool = False
+    ) -> Callable[[T], T] | T:
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        With two arguments registers directly and returns ``obj``; with
+        one argument returns a decorator that registers its target.
+        Re-registering an existing name raises unless ``overwrite=True``
+        (the deliberate-replacement escape hatch).
+        """
+        if not name or not isinstance(name, str):
+            raise ConfigurationError(
+                f"{self.kind} name must be a non-empty string, got {name!r}"
+            )
+        if obj is _MISSING:
+
+            def decorator(target: T) -> T:
+                self.register(name, target, overwrite=overwrite)
+                return target
+
+            return decorator
+        if name in self._entries and not overwrite:
+            raise ConfigurationError(
+                f"{self.kind} {name!r} is already registered "
+                f"(pass overwrite=True to replace it)"
+            )
+        self._entries[name] = obj
+        return obj
+
+    def get(self, name: str) -> T:
+        """The component registered under ``name``.
+
+        Raises
+        ------
+        ConfigurationError
+            On unknown names, listing every valid choice.
+        """
+        try:
+            return self._entries[name]
+        except (KeyError, TypeError):
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; available: {', '.join(self._entries)}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered names, in registration order."""
+        return tuple(self._entries)
+
+    def unregister(self, name: str) -> T:
+        """Remove and return an entry (mostly for tests)."""
+        self.get(name)
+        return self._entries.pop(name)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, names={list(self._entries)})"

@@ -10,6 +10,11 @@ print the build report.
 ``sweep``      — run a declarative scenario grid through the sweep
 engine (parallel workers, JSONL persistence, resume).
 
+Every ``choices=`` list is derived from the component registries
+(:mod:`repro.api`), so registering a topology, tree builder, power
+scheme or scheduler makes it reachable from the command line without
+touching this module.
+
 Library failures (:class:`~repro.errors.ReproError` subclasses) are
 printed to stderr and exit with status 2 — no tracebacks for
 configuration mistakes.
@@ -21,30 +26,31 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.api.components import power_schemes, schedulers, topologies, trees
+from repro.api.config import PipelineConfig
+from repro.api.pipeline import Pipeline
 from repro.core.capacity import compare_power_modes
-from repro.core.protocol import AggregationProtocol
 from repro.errors import ReproError
-from repro.geometry.generators import TOPOLOGIES, make_deployment, topology_uses_seed
-from repro.scheduling.builder import PowerMode
+from repro.geometry.generators import topology_uses_seed
 from repro.sinr.model import SINRModel
 
 __all__ = ["main", "build_parser"]
 
 
 def _effective_seed(args: argparse.Namespace) -> int:
-    """The seed to use (default 0), warning when it would be ignored.
+    """The seed to use, warning when a non-default one would be ignored.
 
-    ``--seed`` defaults to ``None`` so an *explicit* seed on a
-    deterministic topology (``grid``, ``exponential``) can be detected
-    and called out instead of silently ignored.
+    ``--seed`` defaults to ``0``; passing any other value for a
+    deterministic topology (``grid``, ``exponential``) is called out
+    instead of silently ignored.
     """
-    if args.seed is not None and not topology_uses_seed(args.topology):
+    if args.seed != 0 and not topology_uses_seed(args.topology):
         print(
             f"warning: --seed is ignored for the deterministic "
             f"topology {args.topology!r}",
             file=sys.stderr,
         )
-    return 0 if args.seed is None else args.seed
+    return args.seed
 
 
 def _int_list(text: str) -> List[int]:
@@ -69,16 +75,45 @@ def _str_list(text: str) -> List[str]:
 
 def _add_instance_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--n", type=int, default=100, help="number of nodes")
-    parser.add_argument("--topology", choices=list(TOPOLOGIES), default="square")
+    parser.add_argument(
+        "--topology", choices=list(topologies.names()), default="square"
+    )
     parser.add_argument(
         "--seed",
         type=int,
-        default=None,
-        help="RNG seed (default 0; ignored — with a warning — for the "
-        "deterministic grid/exponential topologies)",
+        default=0,
+        help="RNG seed (default 0; a non-default seed is ignored — with a "
+        "warning — for the deterministic grid/exponential topologies)",
     )
     parser.add_argument("--alpha", type=float, default=3.0, help="path-loss exponent")
     parser.add_argument("--beta", type=float, default=1.0, help="SINR threshold")
+    parser.add_argument(
+        "--tree",
+        choices=list(trees.names()),
+        default="mst",
+        help="aggregation-tree builder (default: the paper's MST)",
+    )
+
+
+def _add_constant_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--gamma", type=float, default=None, help="conflict-graph threshold constant"
+    )
+    parser.add_argument(
+        "--delta", type=float, default=None, help="oblivious conflict-graph exponent"
+    )
+    parser.add_argument(
+        "--tau", type=float, default=None, help="oblivious power exponent P_tau"
+    )
+
+
+def _add_scheduler_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scheduler",
+        choices=list(schedulers.names()),
+        default="certified",
+        help="link scheduler (default: the paper's certified pipeline)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -92,18 +127,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_instance_args(p_schedule)
     p_schedule.add_argument(
         "--mode",
-        choices=[m.value for m in PowerMode],
+        choices=list(power_schemes.names()),
         default="global",
         help="power-control mode",
     )
+    _add_scheduler_arg(p_schedule)
+    _add_constant_args(p_schedule)
 
     p_simulate = sub.add_parser("simulate", help="build and simulate convergecast")
     _add_instance_args(p_simulate)
-    p_simulate.add_argument("--mode", choices=[m.value for m in PowerMode], default="global")
+    p_simulate.add_argument(
+        "--mode", choices=list(power_schemes.names()), default="global"
+    )
+    _add_scheduler_arg(p_simulate)
+    _add_constant_args(p_simulate)
     p_simulate.add_argument("--frames", type=int, default=20, help="frames to aggregate")
 
     p_compare = sub.add_parser("compare", help="compare power regimes")
     _add_instance_args(p_compare)
+    _add_constant_args(p_compare)
     p_compare.add_argument(
         "--no-baselines", action="store_true", help="skip baseline schedulers"
     )
@@ -113,7 +155,8 @@ def build_parser() -> argparse.ArgumentParser:
         "id",
         nargs="?",
         default=None,
-        help="experiment id (FIG1, THM1, THM2, FIG2, FIG3, FIG4, BASE, OPT); omit to list",
+        help="experiment id (FIG1, THM1, THM2, FIG2, FIG3, FIG4, BASE, OPT, "
+        "TREES); omit to list",
     )
     p_exp.add_argument("--alpha", type=float, default=3.0)
     p_exp.add_argument("--beta", type=float, default=1.0)
@@ -121,14 +164,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser(
         "sweep",
         help="run a scenario grid through the sweep engine",
-        description="Run every (topology x n x mode x alpha x beta x seed) cell "
-        "of the grid, in parallel, writing one JSONL record per cell.",
+        description="Run every (topology x n x mode x tree x scheduler x alpha x "
+        "beta x seed) cell of the grid, in parallel, writing one JSONL record "
+        "per cell.",
     )
     p_sweep.add_argument(
         "--topology",
         type=_str_list,
         default=["square"],
-        help=f"comma-separated topologies ({','.join(TOPOLOGIES)})",
+        help=f"comma-separated topologies ({','.join(topologies.names())})",
     )
     p_sweep.add_argument(
         "--n", type=_int_list, default=[100], help="comma-separated node counts"
@@ -138,7 +182,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=_str_list,
         default=["global"],
         help="comma-separated power modes "
-        f"({','.join(m.value for m in PowerMode)})",
+        f"({','.join(power_schemes.names())})",
+    )
+    p_sweep.add_argument(
+        "--tree",
+        type=_str_list,
+        default=["mst"],
+        help=f"comma-separated tree builders ({','.join(trees.names())})",
+    )
+    p_sweep.add_argument(
+        "--scheduler",
+        type=_str_list,
+        default=["certified"],
+        help=f"comma-separated schedulers ({','.join(schedulers.names())})",
     )
     p_sweep.add_argument(
         "--alpha", type=_float_list, default=[3.0], help="comma-separated alphas"
@@ -172,6 +228,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
         topologies=tuple(args.topology),
         ns=tuple(args.n),
         modes=tuple(args.mode),
+        trees=tuple(args.tree),
+        schedulers=tuple(args.scheduler),
         alphas=tuple(args.alpha),
         betas=tuple(args.beta),
         seeds=args.seeds,
@@ -182,8 +240,13 @@ def _run_sweep(args: argparse.Namespace) -> int:
         spec, jobs=args.jobs, out_path=args.out, resume=not args.no_resume
     )
     report = engine.run()
+    keys = ("topology", "n", "mode")
+    if len(spec.trees) > 1:
+        keys += ("tree",)
+    if len(spec.schedulers) > 1:
+        keys += ("scheduler",)
     print(report.summary())
-    print(report.table())
+    print(report.table(keys))
     if args.out:
         print(f"wrote {len(report.results)} records to {args.out}")
     return 0
@@ -205,21 +268,41 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     seed = _effective_seed(args)
-    points = make_deployment(args.topology, args.n, rng=seed)
 
-    if args.command == "schedule":
-        result = AggregationProtocol(args.mode, model=model).build(points)
-        print(result.summary())
-    elif args.command == "simulate":
-        result = AggregationProtocol(args.mode, model=model).build(
-            points, num_frames=args.frames, rng=seed
+    if args.command in ("schedule", "simulate"):
+        config = PipelineConfig(
+            topology=args.topology,
+            n=args.n,
+            seed=seed,
+            tree=args.tree,
+            power=args.mode,
+            scheduler=args.scheduler,
+            alpha=args.alpha,
+            beta=args.beta,
+            gamma=args.gamma,
+            delta=args.delta,
+            tau=args.tau,
+            num_frames=args.frames if args.command == "simulate" else 0,
         )
-        print(result.summary())
+        artifact = Pipeline(config, model=model).run()
+        print(artifact.summary())
     elif args.command == "compare":
+        from repro.geometry.generators import make_deployment
+
+        points = make_deployment(args.topology, args.n, rng=seed)
         comparison = compare_power_modes(
-            points, model=model, include_baselines=not args.no_baselines
+            points,
+            model=model,
+            tree=args.tree,
+            gamma=args.gamma,
+            delta=args.delta,
+            tau=args.tau,
+            include_baselines=not args.no_baselines,
         )
-        print(f"n={comparison.n} diversity={comparison.diversity:.4g}")
+        print(
+            f"n={comparison.n} tree={comparison.tree} "
+            f"diversity={comparison.diversity:.4g}"
+        )
         print(comparison.table())
     return 0
 

@@ -11,13 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.api.components import trees as tree_registry
 from repro.core.theory import predicted_slots
 from repro.geometry.point import PointSet
 from repro.power.oblivious import LinearPower, UniformPower
 from repro.scheduling.baselines import greedy_sinr_schedule, trivial_tdma_schedule
 from repro.scheduling.builder import PowerMode, ScheduleBuilder
 from repro.sinr.model import SINRModel
-from repro.spanning.tree import AggregationTree
 
 __all__ = ["CapacityComparison", "ModeOutcome", "compare_power_modes"]
 
@@ -41,6 +41,7 @@ class CapacityComparison:
 
     n: int
     diversity: float
+    tree: str = "mst"
     outcomes: List[ModeOutcome] = field(default_factory=list)
 
     def by_strategy(self) -> Dict[str, ModeOutcome]:
@@ -62,22 +63,33 @@ def compare_power_modes(
     *,
     sink: int = 0,
     model: Optional[SINRModel] = None,
+    tree: str = "mst",
+    gamma: Optional[float] = None,
+    delta: Optional[float] = None,
+    tau: Optional[float] = None,
     include_baselines: bool = True,
 ) -> CapacityComparison:
-    """Schedule the MST of ``points`` under every power regime.
+    """Schedule one tree of ``points`` under every power regime.
 
     Strategies: ``global`` and ``oblivious`` (the paper's pipeline),
     plus ``uniform-greedy`` (first-fit SINR packing with ``P_0``),
     ``linear-greedy`` (with ``P_1``) and ``tdma`` (one link per slot)
     baselines.
+
+    ``tree`` names an aggregation-tree builder from the registry
+    (default: the paper's MST); ``gamma``/``delta``/``tau`` override the
+    certified pipeline's conflict-graph and power constants.
     """
     model = model or SINRModel()
-    tree = AggregationTree.mst(points, sink=sink)
-    links = tree.links()
-    comparison = CapacityComparison(n=len(points), diversity=links.diversity)
+    built_tree = tree_registry.get(tree).build(points, sink=sink)
+    links = built_tree.links()
+    comparison = CapacityComparison(n=len(points), diversity=links.diversity, tree=tree)
+    constants = {
+        k: v for k, v in (("gamma", gamma), ("delta", delta), ("tau", tau)) if v is not None
+    }
 
     for mode in (PowerMode.GLOBAL, PowerMode.OBLIVIOUS):
-        builder = ScheduleBuilder(model, mode)
+        builder = ScheduleBuilder(model, mode, **constants)
         schedule, _report = builder.build_with_report(links)
         comparison.outcomes.append(
             ModeOutcome(

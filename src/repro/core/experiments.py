@@ -10,7 +10,10 @@ at a slightly smaller default scale so any experiment finishes in
 seconds; the benches remain the canonical, asserted versions.  The
 multi-instance experiments (THM1, THM2, BASE) run through the sweep
 engine (:mod:`repro.runner`) — the same machinery behind the ``sweep``
-CLI, just inline and single-process.
+CLI, just inline and single-process — and the single-instance ones
+(OPT, TREES) build their instances from
+:class:`~repro.api.config.PipelineConfig`, so every experiment's
+component choices are registry names.
 """
 
 from __future__ import annotations
@@ -19,13 +22,14 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.api.components import trees as tree_registry
+from repro.api.config import PipelineConfig
+from repro.api.pipeline import Pipeline
 from repro.core.theory import predicted_slots_global, predicted_slots_oblivious
 from repro.errors import ConfigurationError
-from repro.geometry.generators import uniform_square
 from repro.lowerbounds.logstar_instance import RecursiveLogStarInstance
 from repro.lowerbounds.mst_suboptimal import MstSuboptimalFamily
 from repro.lowerbounds.oblivious_chain import DoublyExponentialChain
-from repro.scheduling.builder import ScheduleBuilder
 from repro.sinr.model import SINRModel
 from repro.spanning.tree import AggregationTree
 
@@ -184,15 +188,45 @@ def _opt(model: SINRModel) -> str:
     from repro.scheduling.exact import minimum_schedule_length
     from repro.scheduling.fractional import optimal_fractional_rate
 
-    links = AggregationTree.mst(uniform_square(9, rng=7)).links()
+    config = PipelineConfig(
+        topology="square", n=9, seed=7, alpha=model.alpha, beta=model.beta
+    )
+    pipeline = Pipeline(config, model=model)
+    links = pipeline.build_tree(pipeline.deploy()).links()
     exact = minimum_schedule_length(links, model)
-    greedy = ScheduleBuilder(model, "global").build(links).num_slots
+    greedy = pipeline.build_schedule(links)[0].num_slots
     frac = optimal_fractional_rate(links, model)
     return (
         "OPT: optimality gaps\n"
         f"exact={exact} greedy={greedy} (ratio {greedy / exact:.2f}); "
         f"fractional rate={frac.rate:.3f} (>= 1/exact = {1 / exact:.3f})"
     )
+
+
+def _trees(model: SINRModel) -> str:
+    """Schedule one clustered deployment under every registered tree
+    builder — the rate-vs-latency axis Fig. 4 / S3.1 opens (the MST
+    optimises rate; ``matching`` trades rate for O(log n) depth)."""
+    lines = [f"{'tree':>10}{'slots':>7}{'height':>8}{'longest link':>14}"]
+    for name in tree_registry.names():
+        config = PipelineConfig(
+            topology="clusters",
+            n=24,
+            seed=2,
+            tree=name,
+            power="oblivious",
+            alpha=model.alpha,
+            beta=model.beta,
+            # Clusters disconnect sparse kNN graphs; widen the reduced
+            # graph so its MST exists.
+            tree_params={"k": 12} if name == "knn-mst" else {},
+        )
+        artifact = Pipeline(config, model=model).run()
+        lines.append(
+            f"{name:>10}{artifact.num_slots:>7}{artifact.tree.height():>8}"
+            f"{float(artifact.links.lengths.max()):>14.4g}"
+        )
+    return "\n".join(["TREES: the tree registry's rate-vs-latency trade-off"] + lines)
 
 
 EXPERIMENTS: Dict[str, Callable[[SINRModel], str]] = {
@@ -204,6 +238,7 @@ EXPERIMENTS: Dict[str, Callable[[SINRModel], str]] = {
     "FIG4": _fig4,
     "BASE": _base,
     "OPT": _opt,
+    "TREES": _trees,
 }
 
 

@@ -1,14 +1,17 @@
 """The :class:`AggregationProtocol` — the paper's result as one object.
 
-Wraps the whole pipeline (MST tree, conflict graph, greedy coloring,
-repair, certification, simulation) behind a two-call API::
+Since the registry redesign this is a thin facade over the
+:class:`~repro.api.pipeline.Pipeline` (MST tree, certified scheduler),
+kept because its two-call shape is the friendliest entry point::
 
     protocol = AggregationProtocol(mode="global")
     result = protocol.build(points, sink=0)
     print(result.summary())
 
-and augments the result with the predicted bound so every run is a
-self-contained paper-vs-measured data point.
+The old signature is fully preserved; ``mode`` now accepts any
+registered power-scheme name (including ``"mean"``), and the underlying
+components can be swapped via :class:`~repro.api.config.PipelineConfig`
+directly when more control is needed.
 """
 
 from __future__ import annotations
@@ -16,9 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.aggregation.convergecast import ConvergecastResult, run_convergecast
+from repro.aggregation.convergecast import ConvergecastResult
 from repro.aggregation.functions import SUM, AggregationFunction
-from repro.core.theory import predicted_slots
 from repro.geometry.point import PointSet
 from repro.scheduling.builder import PowerMode, ScheduleBuilder
 from repro.sinr.model import SINRModel
@@ -61,13 +63,14 @@ class AggregationProtocol:
     Parameters
     ----------
     mode:
-        Power-control mode (default: global power control, the
-        ``O(log* Delta)`` result).
+        Power-scheme name from the :data:`~repro.api.power_schemes`
+        registry (default: global power control, the ``O(log* Delta)``
+        result).  :class:`PowerMode` values are accepted too.
     model:
         SINR parameters.
     gamma, delta, tau:
         Conflict-graph and power-scheme constants forwarded to the
-        :class:`ScheduleBuilder`.
+        certified scheduler.
     """
 
     def __init__(
@@ -79,15 +82,18 @@ class AggregationProtocol:
         delta: Optional[float] = None,
         tau: Optional[float] = None,
     ) -> None:
+        from repro.api.components import power_schemes
+
         self.model = model or SINRModel()
-        self.mode = PowerMode(mode)
-        kwargs = {}
-        if gamma is not None:
-            kwargs["gamma"] = gamma
-        if delta is not None:
-            kwargs["delta"] = delta
-        if tau is not None:
-            kwargs["tau"] = tau
+        scheme = power_schemes.get(
+            mode.value if isinstance(mode, PowerMode) else str(mode)
+        )
+        self.scheme = scheme
+        self.mode = scheme.mode
+        self._constants = {"gamma": gamma, "delta": delta, "tau": tau}
+        kwargs = scheme.builder_kwargs()
+        kwargs.update({k: v for k, v in self._constants.items() if v is not None})
+        # Kept for back-compat: the builder the certified pipeline uses.
         self.builder = ScheduleBuilder(self.model, self.mode, **kwargs)
 
     def build(
@@ -100,17 +106,32 @@ class AggregationProtocol:
         rng: RngLike = 0,
     ) -> ProtocolResult:
         """Build (and optionally simulate) aggregation over ``points``."""
-        convergecast = run_convergecast(
-            points,
+        from repro.api.config import PipelineConfig
+        from repro.api.pipeline import Pipeline
+
+        config = PipelineConfig(
+            n=len(points),
             sink=sink,
-            model=self.model,
-            function=function,
+            tree="mst",
+            power=self.scheme.name,
+            scheduler="certified",
+            alpha=self.model.alpha,
+            beta=self.model.beta,
             num_frames=num_frames,
-            rng=rng,
-            builder=self.builder,
+            **{k: v for k, v in self._constants.items() if v is not None},
         )
-        prediction = predicted_slots(self.mode, convergecast.report.diversity, len(points))
-        return ProtocolResult(convergecast=convergecast, predicted_slots=prediction)
+        artifact = Pipeline(config, model=self.model).run(
+            points, function=function, rng=rng
+        )
+        convergecast = ConvergecastResult(
+            tree=artifact.tree,
+            schedule=artifact.schedule,
+            report=artifact.report,
+            simulation=artifact.simulation,
+        )
+        return ProtocolResult(
+            convergecast=convergecast, predicted_slots=artifact.predicted_slots
+        )
 
     def __repr__(self) -> str:
         return f"AggregationProtocol(mode={self.mode.value}, model={self.model})"

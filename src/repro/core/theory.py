@@ -39,9 +39,20 @@ def predicted_slots_uniform_random(n: int) -> float:
     return max(1.0, safe_log2(max(n, 2)))
 
 
+#: Power-scheme names that are not :class:`PowerMode` values but map to
+#: one for prediction purposes (``mean`` is the tau=1/2 oblivious scheme).
+_MODE_ALIASES = {"mean": PowerMode.OBLIVIOUS}
+
+
+def _as_mode(mode: PowerMode | str) -> PowerMode:
+    if isinstance(mode, PowerMode):
+        return mode
+    return _MODE_ALIASES.get(str(mode)) or PowerMode(mode)
+
+
 def predicted_slots(mode: PowerMode | str, diversity: float, n: int) -> float:
-    """Dispatch on power mode."""
-    mode = PowerMode(mode)
+    """Dispatch on power mode (accepts scheme aliases like ``mean``)."""
+    mode = _as_mode(mode)
     if mode is PowerMode.GLOBAL:
         return predicted_slots_global(diversity)
     if mode is PowerMode.OBLIVIOUS:
@@ -60,7 +71,7 @@ def predicted_slots_cor1(mode: PowerMode | str, n: int) -> float:
     This is the per-``n`` reference the sweep engine's summary tables
     report next to measured slot counts for random topologies.
     """
-    mode = PowerMode(mode)
+    mode = _as_mode(mode)
     n = max(int(n), 2)
     if mode is PowerMode.GLOBAL:
         return max(1.0, float(log_star(n)))

@@ -9,7 +9,6 @@ classical worst case for uniform power), and clustered deployments.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 import numpy as np
 
@@ -31,7 +30,10 @@ __all__ = [
     "uniform_square",
 ]
 
-#: Named deployment families served by :func:`make_deployment`.
+#: The built-in deployment families.  Kept for back-compat; the
+#: authoritative, extensible list is the topology registry
+#: (:data:`repro.api.topologies`), which :func:`make_deployment`
+#: dispatches through — user-registered families work here too.
 TOPOLOGIES = ("square", "disk", "grid", "clusters", "exponential")
 
 #: Retry budget for rejection-sampling distinct points.
@@ -222,16 +224,22 @@ def topology_uses_seed(topology: str) -> bool:
 
     ``grid`` and ``exponential`` are deterministic constructions: a seed
     passed for them is ignored, and callers (the CLI, the sweep engine)
-    may want to warn the user about that.
+    may want to warn the user about that.  The answer comes from the
+    topology registry, so it is correct for user-registered families
+    too; unknown names raise :class:`ConfigurationError`.
     """
-    return topology in ("square", "disk", "clusters")
+    from repro.api.components import topologies
+
+    return topologies.get(topology).uses_seed
 
 
-def make_deployment(topology: str, n: int, *, rng: RngLike = None) -> PointSet:
-    """Build an ``n``-point deployment of one of the named ``TOPOLOGIES``.
+def make_deployment(topology: str, n: int, *, rng: RngLike = None, **params) -> PointSet:
+    """Build an ``n``-point deployment of a registered topology.
 
-    This is the single dispatch used by the CLI and the sweep engine, so
-    every entry point honours ``n`` exactly:
+    Dispatches through the topology registry
+    (:data:`repro.api.topologies`), so every entry point honours ``n``
+    exactly and user-registered families are available by name.  The
+    built-in families:
 
     * ``square`` / ``disk`` — uniform in the unit square / disk;
     * ``grid`` — the first ``n`` points (row-major) of the smallest
@@ -239,20 +247,11 @@ def make_deployment(topology: str, n: int, *, rng: RngLike = None) -> PointSet:
     * ``clusters`` — :func:`cluster_points_total` over 10 clusters with
       the remainder distributed;
     * ``exponential`` — the exponentially spaced chain (deterministic).
+
+    Extra keyword arguments are forwarded to the family's builder
+    (e.g. ``side=2.0`` for ``square``, ``clusters=5`` for ``clusters``).
     """
+    from repro.api.components import topologies
+
     _require_count(n)
-    if topology == "square":
-        return uniform_square(n, rng=rng)
-    if topology == "disk":
-        return uniform_disk(n, rng=rng)
-    if topology == "grid":
-        side = max(2, math.ceil(math.sqrt(n)))
-        full = grid_points(side, side)
-        return PointSet(full.coords[:n], check=False)
-    if topology == "clusters":
-        return cluster_points_total(n, rng=rng)
-    if topology == "exponential":
-        return exponential_line(n)
-    raise ConfigurationError(
-        f"unknown topology {topology!r}; available: {', '.join(TOPOLOGIES)}"
-    )
+    return topologies.get(topology).build(n, rng=rng, **params)

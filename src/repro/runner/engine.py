@@ -30,10 +30,12 @@ import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.api.config import PipelineConfig
+from repro.api.measurements import MeasurementContext, measurements
+from repro.api.pipeline import Pipeline
 from repro.errors import ConfigurationError, ReproError
-from repro.geometry.generators import make_deployment
 from repro.runner.results import (
     CellResult,
     append_result,
@@ -43,9 +45,6 @@ from repro.runner.results import (
     write_results,
 )
 from repro.runner.spec import CellSpec, SweepSpec
-from repro.scheduling.builder import ScheduleBuilder
-from repro.sinr.model import SINRModel
-from repro.spanning.tree import AggregationTree
 
 __all__ = ["SweepEngine", "SweepReport", "run_cell"]
 
@@ -53,10 +52,12 @@ __all__ = ["SweepEngine", "SweepReport", "run_cell"]
 def run_cell(cell: CellSpec) -> CellResult:
     """Execute one sweep cell (module-level, hence pool-picklable).
 
-    Builds the deployment, MST and certified schedule (and/or the
-    Theorem-2 coloring quantities), optionally simulates convergecast,
-    and returns the typed record.  All failures are captured in the
-    record rather than raised.
+    Resolves the cell's component names through the registry-backed
+    :class:`~repro.api.pipeline.Pipeline`, builds the deployment and
+    tree, and applies every requested measurement from the measurement
+    registry (the schedule is built lazily, only when a measurement
+    needs it).  All failures are captured in the record rather than
+    raised.
     """
     result = CellResult(
         cell_id=cell.cell_id,
@@ -66,41 +67,31 @@ def run_cell(cell: CellSpec) -> CellResult:
         alpha=cell.alpha,
         beta=cell.beta,
         seed=cell.seed,
+        tree=cell.tree,
+        scheduler=cell.scheduler,
     )
     start = time.perf_counter()
     try:
-        model = SINRModel(alpha=cell.alpha, beta=cell.beta)
-        points = make_deployment(cell.topology, cell.n, rng=cell.seed)
-        tree = AggregationTree.mst(points)
-        links = tree.links()
-        result.diversity = float(links.diversity)
-
-        if "schedule" in cell.measure:
-            builder = ScheduleBuilder(model, cell.mode)
-            schedule, report = builder.build_with_report(links)
-            result.slots = report.final_slots
-            result.rate = report.rate
-            result.initial_colors = report.initial_colors
-            result.split_classes = report.split_classes
-            if cell.num_frames > 0:
-                from repro.aggregation.simulator import AggregationSimulator
-
-                sim = AggregationSimulator(tree, schedule).run(
-                    cell.num_frames, rng=cell.seed
-                )
-                result.frames_injected = sim.frames_injected
-                result.frames_completed = sim.frames_completed
-                result.mean_latency = float(sim.mean_latency)
-                result.max_latency = int(sim.max_latency)
-                result.stable = bool(sim.stable)
-
-        if "g1" in cell.measure:
-            from repro.coloring.greedy import greedy_coloring
-            from repro.coloring.refinement import refine_by_interference
-            from repro.conflict.graph import g1_graph
-
-            result.g1_colors = int(greedy_coloring(g1_graph(links)).max()) + 1
-            result.refine_t = len(refine_by_interference(links, model.alpha))
+        config = PipelineConfig(
+            topology=cell.topology,
+            n=cell.n,
+            seed=cell.seed,
+            tree=cell.tree,
+            power=cell.mode,
+            scheduler=cell.scheduler,
+            alpha=cell.alpha,
+            beta=cell.beta,
+            num_frames=cell.num_frames,
+        )
+        pipeline = Pipeline(config)
+        points = pipeline.deploy()
+        tree = pipeline.build_tree(points)
+        ctx = MeasurementContext(
+            pipeline, points, tree, num_frames=cell.num_frames, rng=cell.seed
+        )
+        result.diversity = float(ctx.links.diversity)
+        for name in cell.measure:
+            measurements.get(name)(ctx, result)
 
         attach_predictions(result)
     except ReproError as exc:
@@ -137,8 +128,8 @@ class SweepReport:
             f"({self.wall_time_s:.1f}s)"
         )
 
-    def table(self) -> str:
-        return summary_table(self.results)
+    def table(self, keys: Tuple[str, ...] = ("topology", "n", "mode")) -> str:
+        return summary_table(self.results, keys)
 
 
 class SweepEngine:
@@ -207,6 +198,13 @@ class SweepEngine:
         start = time.perf_counter()
         cells = list(self.spec.cells())
         by_id = {c.cell_id: c for c in cells}
+        # Rows written before the registry redesign carry the shorter
+        # tree/scheduler-less id; they can only describe the default
+        # mst/certified combination, so map that alias too instead of
+        # re-running (and duplicating) every old cell.
+        for c in cells:
+            if c.tree == "mst" and c.scheduler == "certified":
+                by_id.setdefault(c.legacy_cell_id, c)
         done: Dict[str, CellResult] = {}
         foreign: List[CellResult] = []
         had_existing_rows = False
@@ -218,7 +216,8 @@ class SweepEngine:
                     if cell is None:
                         foreign.append(row)
                     elif self._satisfies(row, cell):
-                        done[row.cell_id] = row
+                        row.cell_id = cell.cell_id  # upgrade legacy ids
+                        done[cell.cell_id] = row
             else:
                 # Fresh run: start the file empty so the incremental
                 # appends below are the only content.
@@ -294,6 +293,8 @@ class SweepEngine:
                             alpha=cell.alpha,
                             beta=cell.beta,
                             seed=cell.seed,
+                            tree=cell.tree,
+                            scheduler=cell.scheduler,
                             status="error",
                             error=f"worker failure: {exc!r}",
                         )

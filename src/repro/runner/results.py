@@ -53,6 +53,8 @@ class CellResult:
     alpha: float
     beta: float
     seed: int
+    tree: str = "mst"
+    scheduler: str = "certified"
     status: str = "ok"
     # -- schedule measurement ------------------------------------------
     slots: Optional[int] = None

@@ -1,15 +1,17 @@
 """Declarative sweep specifications.
 
 A :class:`SweepSpec` is the full description of a scenario family: the
-cartesian grid ``topology x n x power-mode x alpha x beta x seed``.  It
-validates eagerly (so a sweep never dies halfway through on a malformed
-axis) and enumerates its cells deterministically — the enumeration
-order *is* the canonical cell order used for JSONL persistence and for
-resume manifests.
+cartesian grid ``topology x n x power-mode x tree x scheduler x alpha x
+beta x seed``.  Every named axis is validated eagerly against the
+component registries (:mod:`repro.api`) — so a sweep never dies halfway
+through on a malformed axis, and user-registered components are sweepable
+by name.  Cells enumerate deterministically — the enumeration order *is*
+the canonical cell order used for JSONL persistence and resume
+manifests.
 
 >>> spec = SweepSpec(topologies=("square",), ns=(50, 100), modes=("global",))
 >>> [c.cell_id for c in spec.cells()]           # doctest: +SKIP
-['square/n50/global/a3/b1/s0', 'square/n100/global/a3/b1/s0']
+['square/n50/global/mst/certified/a3/b1/s0', ...]
 """
 
 from __future__ import annotations
@@ -17,16 +19,18 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Dict, Iterator, Sequence, Tuple
 
+from repro.api.components import power_schemes, schedulers, topologies, trees
+from repro.api.measurements import measurements
 from repro.errors import ConfigurationError
-from repro.geometry.generators import TOPOLOGIES
 from repro.scheduling.builder import PowerMode
 
 __all__ = ["CellSpec", "SweepSpec", "MEASUREMENTS"]
 
-#: Measurements a sweep cell can record.  ``schedule`` runs the full
-#: builder pipeline (slots, rate, optional simulation); ``g1`` computes
-#: the Theorem-2 quantities (chi(G1) and the refinement constant).
-MEASUREMENTS = ("schedule", "g1")
+#: Measurements a sweep cell can record (the measurement registry's
+#: names at import time).  ``schedule`` runs the full builder pipeline
+#: (slots, rate, optional simulation); ``g1`` computes the Theorem-2
+#: quantities (chi(G1) and the refinement constant).
+MEASUREMENTS = measurements.names()
 
 
 @dataclass(frozen=True)
@@ -44,12 +48,29 @@ class CellSpec:
     alpha: float
     beta: float
     seed: int
+    tree: str = "mst"
+    scheduler: str = "certified"
     num_frames: int = 0
     measure: Tuple[str, ...] = ("schedule",)
 
     @property
     def cell_id(self) -> str:
         """Stable identifier used in JSONL rows and resume manifests."""
+        return (
+            f"{self.topology}/n{self.n}/{self.mode}"
+            f"/{self.tree}/{self.scheduler}"
+            f"/a{self.alpha:g}/b{self.beta:g}/s{self.seed}"
+        )
+
+    @property
+    def legacy_cell_id(self) -> str:
+        """The pre-tree/scheduler id format (``topo/nN/mode/aA/bB/sS``).
+
+        Only meaningful for cells using the default ``mst``/``certified``
+        components — the only combination old sweep files can contain;
+        the engine uses it to resume files written before the registry
+        redesign instead of re-running (and duplicating) their cells.
+        """
         return (
             f"{self.topology}/n{self.n}/{self.mode}"
             f"/a{self.alpha:g}/b{self.beta:g}/s{self.seed}"
@@ -63,11 +84,15 @@ class SweepSpec:
     Parameters
     ----------
     topologies:
-        Deployment families (see :data:`repro.geometry.TOPOLOGIES`).
+        Deployment families (names from :data:`repro.api.topologies`).
     ns:
-        Node counts (each >= 2 so the MST has at least one link).
+        Node counts (each >= 2 so the tree has at least one link).
     modes:
-        Power-control modes (:class:`PowerMode` values).
+        Power schemes (names from :data:`repro.api.power_schemes`).
+    trees:
+        Aggregation-tree builders (names from :data:`repro.api.trees`).
+    schedulers:
+        Link schedulers (names from :data:`repro.api.schedulers`).
     alphas, betas:
         SINR model parameter axes (paper constraints: ``alpha > 2``,
         ``beta > 0``).
@@ -80,12 +105,15 @@ class SweepSpec:
     num_frames:
         Frames of convergecast to simulate per cell (0 = schedule only).
     measure:
-        Which measurements to record (subset of :data:`MEASUREMENTS`).
+        Which measurements to record (names from
+        :data:`repro.api.measurements`).
     """
 
     topologies: Tuple[str, ...]
     ns: Tuple[int, ...]
     modes: Tuple[str, ...]
+    trees: Tuple[str, ...] = ("mst",)
+    schedulers: Tuple[str, ...] = ("certified",)
     alphas: Tuple[float, ...] = (3.0,)
     betas: Tuple[float, ...] = (1.0,)
     seeds: int = 1
@@ -95,44 +123,46 @@ class SweepSpec:
 
     def __post_init__(self) -> None:
         # Normalise sequences to tuples so specs hash and compare.
-        for name in ("topologies", "ns", "modes", "alphas", "betas", "measure"):
+        axis_names = (
+            "topologies", "ns", "modes", "trees", "schedulers",
+            "alphas", "betas", "measure",
+        )
+        for name in axis_names:
             value = getattr(self, name)
             if isinstance(value, (str, int, float)):
                 raise ConfigurationError(f"{name} must be a sequence, got {value!r}")
             object.__setattr__(self, name, tuple(value))
-        self._require_axis("topologies", self.topologies)
-        self._require_axis("ns", self.ns)
-        self._require_axis("modes", self.modes)
-        self._require_axis("alphas", self.alphas)
-        self._require_axis("betas", self.betas)
-        self._require_axis("measure", self.measure)
+        # PowerMode enum members are accepted on the mode axis; fold them
+        # to their canonical string names so cell_ids and persisted rows
+        # stay uniform.
+        object.__setattr__(
+            self,
+            "modes",
+            tuple(m.value if isinstance(m, PowerMode) else m for m in self.modes),
+        )
+        for name in axis_names:
+            self._require_axis(name, getattr(self, name))
+        # Registry-backed name validation: unknown names fail eagerly
+        # with the full list of valid choices.
         for topology in self.topologies:
-            if topology not in TOPOLOGIES:
-                raise ConfigurationError(
-                    f"unknown topology {topology!r}; available: {', '.join(TOPOLOGIES)}"
-                )
+            topologies.get(topology)
+        for mode in self.modes:
+            power_schemes.get(mode)
+        for tree in self.trees:
+            trees.get(tree)
+        for scheduler in self.schedulers:
+            schedulers.get(scheduler)
+        for m in self.measure:
+            measurements.get(m)
         for n in self.ns:
             if not isinstance(n, int) or n < 2:
                 raise ConfigurationError(f"each n must be an int >= 2, got {n!r}")
-        for mode in self.modes:
-            try:
-                PowerMode(mode)
-            except ValueError:
-                raise ConfigurationError(
-                    f"unknown mode {mode!r}; available: "
-                    + ", ".join(m.value for m in PowerMode)
-                ) from None
         for alpha in self.alphas:
             if alpha <= 2:
                 raise ConfigurationError(f"alpha must exceed 2, got {alpha}")
         for beta in self.betas:
             if beta <= 0:
                 raise ConfigurationError(f"beta must be positive, got {beta}")
-        for m in self.measure:
-            if m not in MEASUREMENTS:
-                raise ConfigurationError(
-                    f"unknown measurement {m!r}; available: {', '.join(MEASUREMENTS)}"
-                )
         if self.seeds < 1:
             raise ConfigurationError(f"seeds must be >= 1, got {self.seeds}")
         if self.num_frames < 0:
@@ -153,6 +183,8 @@ class SweepSpec:
             len(self.topologies)
             * len(self.ns)
             * len(self.modes)
+            * len(self.trees)
+            * len(self.schedulers)
             * len(self.alphas)
             * len(self.betas)
             * self.seeds
@@ -161,26 +193,30 @@ class SweepSpec:
     def cells(self) -> Iterator[CellSpec]:
         """Enumerate cells in canonical (deterministic) order.
 
-        The nesting order is topology -> n -> mode -> alpha -> beta ->
-        seed, matching the axis order of the dataclass fields.
+        The nesting order is topology -> n -> mode -> tree -> scheduler
+        -> alpha -> beta -> seed, matching the axis order of the
+        dataclass fields.
         """
-        modes = tuple(PowerMode(m).value for m in self.modes)
         for topology in self.topologies:
             for n in self.ns:
-                for mode in modes:
-                    for alpha in self.alphas:
-                        for beta in self.betas:
-                            for k in range(self.seeds):
-                                yield CellSpec(
-                                    topology=topology,
-                                    n=n,
-                                    mode=mode,
-                                    alpha=alpha,
-                                    beta=beta,
-                                    seed=self.base_seed + k,
-                                    num_frames=self.num_frames,
-                                    measure=self.measure,
-                                )
+                for mode in self.modes:
+                    for tree in self.trees:
+                        for scheduler in self.schedulers:
+                            for alpha in self.alphas:
+                                for beta in self.betas:
+                                    for k in range(self.seeds):
+                                        yield CellSpec(
+                                            topology=topology,
+                                            n=n,
+                                            mode=mode,
+                                            alpha=alpha,
+                                            beta=beta,
+                                            seed=self.base_seed + k,
+                                            tree=tree,
+                                            scheduler=scheduler,
+                                            num_frames=self.num_frames,
+                                            measure=self.measure,
+                                        )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:

@@ -55,6 +55,52 @@ class TestMain:
         assert main(["schedule", "--n", "20", "--alpha", "4.0", "--beta", "2.0"]) == 0
 
 
+class TestRegistryFlags:
+    """The registry-derived component flags on schedule/simulate/compare."""
+
+    def test_schedule_with_matching_tree(self, capsys):
+        argv = ["schedule", "--n", "16", "--tree", "matching", "--scheduler", "certified"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "tree=matching" in out and "slots=" in out
+
+    def test_schedule_with_baseline_scheduler(self, capsys):
+        assert main(["schedule", "--n", "10", "--scheduler", "tdma"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler=tdma" in out and "slots=9" in out
+
+    def test_simulate_with_tree_flag(self, capsys):
+        argv = ["simulate", "--n", "12", "--tree", "matching", "--frames", "2"]
+        assert main(argv) == 0
+        assert "simulated:" in capsys.readouterr().out
+
+    def test_mean_power_scheme(self, capsys):
+        assert main(["schedule", "--n", "12", "--mode", "mean"]) == 0
+        assert "mode=mean" in capsys.readouterr().out
+
+    def test_conflict_constants_flags(self, capsys):
+        argv = [
+            "schedule", "--n", "12", "--mode", "oblivious",
+            "--gamma", "2.0", "--delta", "0.3", "--tau", "0.4",
+        ]
+        assert main(argv) == 0
+        assert "slots=" in capsys.readouterr().out
+
+    def test_compare_with_tree_and_constants(self, capsys):
+        argv = ["compare", "--n", "12", "--tree", "matching", "--gamma", "1.5"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "tree=matching" in out and "strategy" in out
+
+    def test_unknown_tree_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "--tree", "steiner"])
+
+    def test_unknown_scheduler_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "--scheduler", "oracle"])
+
+
 class TestNodeCounts:
     """``--n`` must be honored exactly, for every topology."""
 
@@ -143,3 +189,20 @@ class TestSweep:
     def test_bad_int_list_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--n", "10,banana"])
+
+    def test_sweep_over_tree_axis(self, capsys, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        argv = [
+            "sweep", "--n", "10", "--tree", "mst,matching",
+            "--scheduler", "certified,tdma", "--out", str(out),
+        ]
+        assert main(argv) == 0
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(rows) == 4
+        assert {(r["tree"], r["scheduler"]) for r in rows} == {
+            ("mst", "certified"), ("mst", "tdma"),
+            ("matching", "certified"), ("matching", "tdma"),
+        }
+        stdout = capsys.readouterr().out
+        # Multi-valued axes join the group-by table.
+        assert "tree" in stdout and "scheduler" in stdout

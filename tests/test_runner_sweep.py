@@ -59,6 +59,14 @@ class TestSpecValidation:
         with pytest.raises(ConfigurationError, match="mode"):
             tiny_spec(modes=("psychic",))
 
+    def test_unknown_tree_rejected(self):
+        with pytest.raises(ConfigurationError, match="tree"):
+            tiny_spec(trees=("steiner",))
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ConfigurationError, match="scheduler"):
+            tiny_spec(schedulers=("oracle",))
+
     def test_empty_axis_rejected(self):
         with pytest.raises(ConfigurationError, match="empty"):
             tiny_spec(ns=())
@@ -96,15 +104,34 @@ class TestSpecValidation:
 class TestCellEnumeration:
     def test_num_cells_is_grid_product(self):
         spec = tiny_spec(modes=("global", "oblivious"), alphas=(3.0, 4.0))
-        assert spec.num_cells == 2 * 2 * 2 * 2 * 1 * 2
+        assert spec.num_cells == 2 * 2 * 2 * 1 * 1 * 2 * 1 * 2
         assert len(list(spec.cells())) == spec.num_cells
+
+    def test_tree_and_scheduler_axes_multiply(self):
+        spec = tiny_spec(
+            seeds=1, trees=("mst", "matching"), schedulers=("certified", "tdma")
+        )
+        assert spec.num_cells == 2 * 2 * 1 * 2 * 2
+        combos = {(c.tree, c.scheduler) for c in spec.cells()}
+        assert combos == {
+            ("mst", "certified"), ("mst", "tdma"),
+            ("matching", "certified"), ("matching", "tdma"),
+        }
 
     def test_cell_ids_unique_and_stable(self):
         spec = tiny_spec()
         ids = [c.cell_id for c in spec.cells()]
         assert len(set(ids)) == len(ids)
         assert ids == [c.cell_id for c in spec.cells()]
-        assert ids[0] == "square/n8/global/a3/b1/s0"
+        assert ids[0] == "square/n8/global/mst/certified/a3/b1/s0"
+
+    def test_enum_modes_normalise_to_names(self):
+        from repro.scheduling.builder import PowerMode
+
+        spec = tiny_spec(seeds=1, modes=(PowerMode.GLOBAL, "oblivious"))
+        assert spec.modes == ("global", "oblivious")
+        ids = [c.cell_id for c in spec.cells()]
+        assert ids[0] == "square/n8/global/mst/certified/a3/b1/s0"
 
     def test_base_seed_shifts_seed_axis(self):
         seeds = {c.seed for c in tiny_spec(base_seed=7).cells()}
@@ -142,6 +169,17 @@ class TestRunCell:
         result = run_cell(cell)
         assert result.g1_colors >= 1 and result.refine_t >= 1
         assert result.slots is None  # schedule not requested
+
+    def test_tree_and_scheduler_recorded_in_row(self):
+        cell = CellSpec(
+            topology="square", n=12, mode="oblivious", alpha=3.0, beta=1.0, seed=0,
+            tree="matching", scheduler="tdma",
+        )
+        result = run_cell(cell)
+        assert result.ok
+        assert result.tree == "matching" and result.scheduler == "tdma"
+        assert result.slots == 11  # tdma: one link per slot
+        assert result.initial_colors is None  # baselines carry no report
 
     def test_failure_is_captured_not_raised(self):
         # exponential_line overflows IEEE doubles far below n=1100.
@@ -255,6 +293,26 @@ class TestEngine:
         ids = {r.cell_id for r in read_results(out)}
         assert {c.cell_id for c in first.cells()} <= ids
         assert {c.cell_id for c in second.cells()} <= ids
+
+    def test_resume_upgrades_pre_redesign_cell_ids(self, tmp_path):
+        # Files written before the tree/scheduler axes used the shorter
+        # id format; resuming them must reuse (and upgrade) those rows
+        # instead of re-running everything and leaving duplicates.
+        out = tmp_path / "sweep.jsonl"
+        spec = tiny_spec()
+        SweepEngine(spec, out_path=out).run()
+        rows = read_results(out)
+        for row in rows:  # rewrite the file in the legacy id format
+            row.cell_id = (
+                f"{row.topology}/n{row.n}/{row.mode}"
+                f"/a{row.alpha:g}/b{row.beta:g}/s{row.seed}"
+            )
+        write_results(out, rows)
+        report = SweepEngine(spec, out_path=out).run()
+        assert report.executed == 0 and report.skipped == spec.num_cells
+        upgraded = read_results(out)
+        assert len(upgraded) == spec.num_cells  # no duplicate rows
+        assert {r.cell_id for r in upgraded} == {c.cell_id for c in spec.cells()}
 
     def test_resume_tolerates_truncated_trailing_line(self, tmp_path):
         out = tmp_path / "sweep.jsonl"

@@ -1,0 +1,130 @@
+"""Tree-registry coverage: matching and knn-mst builders, Fig. 4 gap."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import Pipeline, PipelineConfig, trees
+from repro.errors import GeometryError
+from repro.geometry.generators import line_points, uniform_square
+from repro.lowerbounds.mst_suboptimal import MstSuboptimalFamily
+from repro.spanning.latency import balanced_matching_tree
+from repro.spanning.mst import mst_edges
+
+
+def edge_set(edges):
+    return {(min(u, v), max(u, v)) for u, v in edges}
+
+
+class TestMatchingTree:
+    def test_registry_builds_balanced_matching_tree(self):
+        points = uniform_square(33, rng=7)
+        via_registry = trees.get("matching").build(points, sink=2)
+        direct = balanced_matching_tree(points, sink=2)
+        assert edge_set(via_registry.edges) == edge_set(direct.edges)
+        assert via_registry.sink == 2
+
+    def test_logarithmic_height(self):
+        for n in (8, 21, 64):
+            points = uniform_square(n, rng=n)
+            tree = trees.get("matching").build(points)
+            assert tree.height() <= math.ceil(math.log2(n))
+            assert len(tree.edges) == n - 1
+
+    def test_single_point(self):
+        tree = trees.get("matching").build(line_points([0.0]))
+        assert len(tree.edges) == 0
+
+    def test_sink_survives_matching(self):
+        # The sink must end as the root whatever its index.
+        points = uniform_square(17, rng=3)
+        for sink in (0, 8, 16):
+            tree = trees.get("matching").build(points, sink=sink)
+            assert tree.parent[sink] == -1
+
+
+class TestKnnMstTree:
+    def test_dense_knn_recovers_euclidean_mst(self):
+        # With k = n-1 the kNN graph is complete, so its reduced MST is
+        # the Euclidean MST.
+        points = uniform_square(20, rng=5)
+        tree = trees.get("knn-mst").build(points, k=19)
+        assert edge_set(tree.edges) == edge_set(mst_edges(points))
+
+    def test_k_clamped_to_n_minus_1(self):
+        points = uniform_square(6, rng=1)
+        tree = trees.get("knn-mst").build(points, k=50)
+        assert len(tree.edges) == 5
+
+    def test_sparse_knn_disconnect_raises(self):
+        # Two far-apart pairs: the symmetric 1-NN graph has no bridge.
+        points = line_points([0.0, 1.0, 100.0, 101.0])
+        with pytest.raises(GeometryError, match="disconnected"):
+            trees.get("knn-mst").build(points, k=1)
+
+    def test_pipeline_runs_knn_tree(self):
+        cfg = PipelineConfig(
+            topology="square", n=25, seed=6, tree="knn-mst", tree_params={"k": 6}
+        )
+        artifact = Pipeline(cfg).run()
+        assert artifact.num_slots >= 1
+        assert artifact.provenance["components"]["tree"] == "knn-mst"
+        assert artifact.provenance["config"]["tree_params"] == {"k": 6}
+
+
+class TestFig4Gap:
+    """Proposition 3 / Fig. 4 as a runnable registry axis: on the
+    MST-suboptimal family a non-MST tree needs strictly fewer slots."""
+
+    def test_matching_beats_mst_on_suboptimal_family(self):
+        fam = MstSuboptimalFamily(0.7, levels=3)
+        assert fam.verify().holds  # the paper's claim, exact arithmetic
+        points = fam.pointset()
+        slots = {}
+        for tree in ("mst", "matching"):
+            cfg = PipelineConfig(
+                n=len(points),
+                tree=tree,
+                power="oblivious",
+                tau=fam.tau,
+                scheduler="greedy-sinr",
+            )
+            slots[tree] = Pipeline(cfg).run(points).num_slots
+        # The MST contains the doubly-exponential subchain (pairwise
+        # infeasible under P_tau -> one slot per link); the matching
+        # tree's links pack into strictly fewer slots.
+        assert slots["mst"] == len(points) - 1
+        assert slots["matching"] < slots["mst"]
+
+    def test_gap_grows_with_depth(self):
+        for levels in (2, 3):
+            fam = MstSuboptimalFamily(0.7, levels=levels)
+            points = fam.pointset()
+            slots = {}
+            for tree in ("mst", "matching"):
+                cfg = PipelineConfig(
+                    n=len(points), tree=tree, power="oblivious",
+                    tau=fam.tau, scheduler="greedy-sinr",
+                )
+                slots[tree] = Pipeline(cfg).run(points).num_slots
+            assert slots["matching"] < slots["mst"] == 2 * levels + 1
+
+
+class TestTreeSweepAxis:
+    def test_sweep_over_trees_records_names(self, tmp_path):
+        import json
+
+        from repro.runner import SweepEngine, SweepSpec
+
+        out = tmp_path / "trees.jsonl"
+        spec = SweepSpec(
+            topologies=("square",), ns=(12,), modes=("global",),
+            trees=("mst", "matching"),
+        )
+        report = SweepEngine(spec, out_path=out).run()
+        assert report.failed == 0 and report.executed == 2
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert {row["tree"] for row in rows} == {"mst", "matching"}
+        assert all(row["scheduler"] == "certified" for row in rows)
+        assert all("/mst/" in row["cell_id"] or "/matching/" in row["cell_id"] for row in rows)
