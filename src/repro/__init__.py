@@ -32,6 +32,7 @@ from repro.api import (
     PipelineConfig,
     Registry,
     RunArtifact,
+    SimulationResult,
 )
 from repro.conflict import (
     ConflictGraph,
@@ -52,11 +53,13 @@ from repro.errors import (
     ConstructionError,
     GeometryError,
     InfeasibleError,
+    JobError,
     LinkError,
     ReproError,
     ScheduleError,
     SimulationError,
 )
+from repro.jobs import JobHandle, JobService, JobStatus
 from repro.geometry import (
     PointSet,
     cluster_points,
@@ -94,6 +97,7 @@ from repro.scheduling import (
 from repro.runner import CellResult, SweepEngine, SweepReport, SweepSpec
 from repro.sinr import SINRModel
 from repro.spanning import AggregationTree, mst_edges
+from repro.store import StageStore, get_default_store
 
 __all__ = [
     "AggregationFunction",
@@ -111,6 +115,10 @@ __all__ = [
     "GeometryError",
     "GlobalPowerSolver",
     "InfeasibleError",
+    "JobError",
+    "JobHandle",
+    "JobService",
+    "JobStatus",
     "LinearPower",
     "Link",
     "LinkError",
@@ -134,6 +142,8 @@ __all__ = [
     "ScheduleBuilder",
     "ScheduleError",
     "SimulationError",
+    "SimulationResult",
+    "StageStore",
     "SweepEngine",
     "SweepReport",
     "SweepSpec",
@@ -145,6 +155,7 @@ __all__ = [
     "compare_power_modes",
     "exponential_line",
     "g1_graph",
+    "get_default_store",
     "greedy_sinr_schedule",
     "grid_points",
     "length_diversity",

@@ -23,6 +23,7 @@ returning a provenance-stamped :class:`RunArtifact`.
 'oblivious'
 """
 
+from repro.aggregation.simulator import SimulationResult
 from repro.api.components import (
     PowerSchemeSpec,
     SchedulerSpec,
@@ -52,6 +53,7 @@ __all__ = [
     "Registry",
     "RunArtifact",
     "SchedulerSpec",
+    "SimulationResult",
     "TopologySpec",
     "TreeSpec",
     "measurements",

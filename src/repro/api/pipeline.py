@@ -11,6 +11,15 @@ also exposed individually (:meth:`Pipeline.deploy`,
 :meth:`Pipeline.build_tree`, :meth:`Pipeline.build_schedule`) so
 callers like the sweep engine can skip or reorder work.
 
+Since the Execution-API-v2 redesign every stage is a *store-mediated
+pure function* (:mod:`repro.store.stages`): stage artifacts are cached
+in a content-addressed :class:`~repro.store.StageStore` keyed by the
+config fields the stage actually reads, so two configs differing only
+in, say, ``alpha`` share one deployment and one tree.  Explicitly
+supplied deployments (and non-canonical seeds) bypass the store — only
+config-derived artifacts are ever cached — and the per-run cache
+counters land in ``RunArtifact.provenance["store"]``.
+
 >>> from repro.api import Pipeline, PipelineConfig
 >>> artifact = Pipeline(PipelineConfig(topology="grid", n=9)).run()
 >>> artifact.num_slots >= 1
@@ -26,6 +35,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro._version import __version__
 from repro.aggregation.functions import SUM, AggregationFunction
+from repro.aggregation.simulator import SimulationResult
 from repro.api.config import PipelineConfig
 from repro.api.components import power_schemes, schedulers, topologies, trees
 from repro.core.theory import predicted_slots
@@ -35,9 +45,15 @@ from repro.scheduling.builder import BuildReport
 from repro.scheduling.schedule import Schedule
 from repro.sinr.model import SINRModel
 from repro.spanning.tree import AggregationTree
+from repro.store import stages as _stages
+from repro.store.store import StageStore, get_default_store
 from repro.util.rng import RngLike
 
 __all__ = ["Pipeline", "RunArtifact"]
+
+#: Sentinel distinguishing "use the process default store" (the default)
+#: from an explicit ``store=None`` opting out of stage caching.
+_DEFAULT_STORE = object()
 
 
 @dataclass
@@ -48,8 +64,9 @@ class RunArtifact:
     (they produce a schedule but no coloring/repair diagnostics), and
     ``simulation`` is ``None`` when ``num_frames == 0``.
     ``provenance`` is a JSON-serialisable dict — the config round-trip
-    plus the resolved component names and the library version — suitable
-    for embedding in JSONL rows or experiment logs.
+    plus the resolved component names, the library version, and the
+    stage store's hit/build counter delta for this run — suitable for
+    embedding in JSONL rows or experiment logs.
     """
 
     config: PipelineConfig
@@ -57,7 +74,7 @@ class RunArtifact:
     tree: AggregationTree
     schedule: Schedule
     report: Optional[BuildReport]
-    simulation: Optional[Any]
+    simulation: Optional[SimulationResult]
     predicted_slots: float
     provenance: Dict[str, Any]
 
@@ -122,27 +139,63 @@ class Pipeline:
     model:
         Optional explicit :class:`SINRModel` overriding the config's
         ``alpha``/``beta`` (for models carrying noise or margin
-        parameters the config does not encode).
+        parameters the config does not encode).  Models that differ
+        from the config's parameters key their own schedule-cache
+        entries.
+    store:
+        The :class:`~repro.store.StageStore` mediating stage
+        computation.  Defaults to the process-wide store
+        (:func:`~repro.store.get_default_store`); pass ``None`` to
+        disable stage caching for this pipeline.
     """
 
-    def __init__(self, config: PipelineConfig, *, model: Optional[SINRModel] = None) -> None:
+    def __init__(
+        self,
+        config: PipelineConfig,
+        *,
+        model: Optional[SINRModel] = None,
+        store: Any = _DEFAULT_STORE,
+    ) -> None:
         self.config = config
         self.topology = topologies.get(config.topology)
         self.tree_builder = trees.get(config.tree)
         self.power = power_schemes.get(config.power)
         self.scheduler = schedulers.get(config.scheduler)
         self.model = model or SINRModel(alpha=config.alpha, beta=config.beta)
+        self.store: Optional[StageStore] = (
+            get_default_store() if store is _DEFAULT_STORE else store
+        )
 
     # ------------------------------------------------------------------
     # Stages
     # ------------------------------------------------------------------
+    def _canonical_seed(self, rng: RngLike) -> bool:
+        """Whether ``rng`` denotes the config's own seed (cacheable)."""
+        return isinstance(rng, int) and rng == self.config.seed
+
     def deploy(self, rng: RngLike = None) -> PointSet:
-        """Build the deployment (``rng`` defaults to ``config.seed``)."""
+        """Build the deployment (``rng`` defaults to ``config.seed``).
+
+        Config-seeded deployments go through the stage store; an
+        explicit non-config seed builds directly (its randomness is not
+        content-addressable by the config).
+        """
         rng = self.config.seed if rng is None else rng
+        if self.store is not None and self._canonical_seed(rng):
+            return _stages.deployment_for(self.config, self.store)
         return self.topology.build(self.config.n, rng=rng, **self.config.topology_params)
 
     def build_tree(self, points: PointSet) -> AggregationTree:
-        """Build the aggregation tree over an explicit deployment."""
+        """Build the aggregation tree over an explicit deployment.
+
+        When ``points`` is the store's own deployment artifact for this
+        config, the tree is store-mediated too; foreign point sets build
+        directly so the cache never aliases them.
+        """
+        if self.store is not None and _stages.canonical_deployment(
+            self.config, self.store, points
+        ):
+            return _stages.tree_for(self.config, self.store)
         return self.tree_builder.build(
             points, sink=self.config.sink, **self.config.tree_params
         )
@@ -151,14 +204,15 @@ class Pipeline:
         """Schedule a link set with the configured scheduler.
 
         The ``gamma``/``delta``/``tau`` constants are forwarded only to
-        schedulers that declare them in their spec.
+        schedulers that declare them in their spec.  Canonical link sets
+        (those derived from this config through the store) resolve
+        through the schedule cache.
         """
-        params = dict(self.config.scheduler_params)
-        for name in self.scheduler.constants:
-            value = getattr(self.config, name)
-            if value is not None:
-                params.setdefault(name, value)
-        return self.scheduler.build(links, self.model, self.power, **params)
+        if self.store is not None and _stages.canonical_links(
+            self.config, self.store, links
+        ):
+            return _stages.schedule_for(self.config, self.store, model=self.model)
+        return _stages.build_schedule_direct(self.config, links, self.model)
 
     # ------------------------------------------------------------------
     def run(
@@ -183,6 +237,7 @@ class Pipeline:
         """
         seed = self.config.seed if rng is None else rng
         explicit = points is not None
+        before = self.store.stats.snapshot() if self.store is not None else None
         pts = points if explicit else self.deploy(rng=seed)
         tree = self.build_tree(pts)
         links = tree.links()
@@ -195,6 +250,9 @@ class Pipeline:
             simulation = AggregationSimulator(tree, schedule, function).run(
                 self.config.num_frames, rng=seed
             )
+        provenance = self.provenance(explicit_points=explicit)
+        if before is not None:
+            provenance["store"] = self.store.stats.delta(before)
         return RunArtifact(
             config=self.config,
             points=pts,
@@ -203,7 +261,7 @@ class Pipeline:
             report=report,
             simulation=simulation,
             predicted_slots=prediction,
-            provenance=self.provenance(explicit_points=explicit),
+            provenance=provenance,
         )
 
     def provenance(self, *, explicit_points: bool = False) -> Dict[str, Any]:

@@ -8,7 +8,11 @@ print the build report.
 ``compare``    — tabulate all power regimes on one instance.
 ``experiment`` — regenerate a paper experiment from the registry.
 ``sweep``      — run a declarative scenario grid through the sweep
-engine (parallel workers, JSONL persistence, resume).
+engine (parallel workers, JSONL persistence, resume, optional on-disk
+stage cache).
+``batch``      — run a file of pipeline configs (JSON array or JSONL)
+through the :class:`~repro.jobs.JobService`.
+``cache``      — inspect or clear an on-disk stage cache directory.
 
 Every ``choices=`` list is derived from the component registries
 (:mod:`repro.api`), so registering a topology, tree builder, power
@@ -23,14 +27,17 @@ configuration mistakes.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro._version import __version__
 from repro.api.components import power_schemes, schedulers, topologies, trees
 from repro.api.config import PipelineConfig
 from repro.api.pipeline import Pipeline
 from repro.core.capacity import compare_power_modes
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, JobError, ReproError
 from repro.geometry.generators import topology_uses_seed
 from repro.sinr.model import SINRModel
 
@@ -120,6 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-aggregate",
         description="Near-constant-rate wireless aggregation scheduling (ICDCS 2018 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -218,6 +228,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-run every cell even if --out already records it",
     )
+    p_sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk stage cache: deployments/trees/schedules persist "
+        "here and are reused across runs",
+    )
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="run a file of pipeline configs through the job service",
+        description="Each entry of CONFIGS (a JSON array, or JSONL with one "
+        "object per line) is a PipelineConfig dict; jobs run through the "
+        "JobService worker pool with stage-store reuse and error isolation.",
+    )
+    p_batch.add_argument("configs", help="JSON/JSONL file of PipelineConfig dicts")
+    p_batch.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p_batch.add_argument(
+        "--cache-dir", default=None, help="on-disk stage cache directory"
+    )
+    p_batch.add_argument(
+        "--out", default=None, help="write one JSONL result row per config"
+    )
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or clear an on-disk stage cache",
+        description="Report per-stage entry counts and sizes of a stage-cache "
+        "directory, or delete its entries.",
+    )
+    p_cache.add_argument("action", choices=("stats", "clear"))
+    p_cache.add_argument(
+        "--dir", required=True, help="stage cache directory (as in --cache-dir)"
+    )
     return parser
 
 
@@ -237,7 +280,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
         num_frames=args.frames,
     )
     engine = SweepEngine(
-        spec, jobs=args.jobs, out_path=args.out, resume=not args.no_resume
+        spec,
+        jobs=args.jobs,
+        out_path=args.out,
+        resume=not args.no_resume,
+        cache_dir=args.cache_dir,
     )
     report = engine.run()
     keys = ("topology", "n", "mode")
@@ -247,14 +294,121 @@ def _run_sweep(args: argparse.Namespace) -> int:
         keys += ("scheduler",)
     print(report.summary())
     print(report.table(keys))
+    if report.store_stats:
+        print(_store_stats_line(report.store_stats))
     if args.out:
         print(f"wrote {len(report.results)} records to {args.out}")
+    return 0
+
+
+def _store_stats_line(stats: dict) -> str:
+    """One-line ``stage: builds/hits`` cache summary."""
+    parts = []
+    for stage in ("deploy", "tree", "links", "schedule"):
+        counters = stats.get(stage)
+        if counters is None:
+            continue
+        part = f"{stage} {counters.get('builds', 0)} built/{counters.get('hits', 0)} hit"
+        disk_hits = counters.get("disk_hits", 0)
+        if disk_hits:
+            part += f"/{disk_hits} disk"
+        parts.append(part)
+    return "stage cache: " + ", ".join(parts)
+
+
+def _load_batch_configs(path: Path) -> List[PipelineConfig]:
+    """Parse a batch file: a JSON array, or JSONL (one object per line)."""
+    if not path.exists():
+        raise ConfigurationError(f"batch file not found: {path}")
+    text = path.read_text(encoding="utf-8").strip()
+    if not text:
+        raise ConfigurationError(f"batch file is empty: {path}")
+    try:
+        if text.startswith("["):
+            entries = json.loads(text)
+        else:
+            entries = [
+                json.loads(line) for line in text.splitlines() if line.strip()
+            ]
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path}: not valid JSON/JSONL: {exc}") from None
+    if not isinstance(entries, list) or not all(
+        isinstance(e, dict) for e in entries
+    ):
+        raise ConfigurationError(f"{path}: expected a list of config objects")
+    return [PipelineConfig.from_dict(entry) for entry in entries]
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    from repro.jobs import JobService
+
+    configs = _load_batch_configs(Path(args.configs))
+    rows = []
+    failed = 0
+    with JobService(workers=args.jobs, cache_dir=args.cache_dir) as service:
+        handles = service.submit_many(configs)
+        for index, (config, handle) in enumerate(zip(configs, handles)):
+            row = {"index": index, "config": config.to_dict()}
+            try:
+                artifact = handle.result()
+            except JobError:
+                failed += 1
+                row.update(status="error", error=handle.error())
+                print(f"[{index}] error: {handle.error()}")
+            else:
+                row.update(
+                    status="ok",
+                    slots=artifact.num_slots,
+                    rate=artifact.rate,
+                    predicted_slots=artifact.predicted_slots,
+                )
+                print(
+                    f"[{index}] ok {config.topology}/n{config.n}/{config.power}"
+                    f"/{config.tree}/{config.scheduler}"
+                    f" slots={artifact.num_slots} rate=1/{artifact.num_slots}"
+                )
+            rows.append(row)
+        stats = service.store_stats()
+    print(f"batch: {len(configs)} jobs, {len(configs) - failed} ok, {failed} failed")
+    if stats:
+        print(_store_stats_line(stats))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            for row in rows:
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+        print(f"wrote {len(rows)} records to {args.out}")
+    return 2 if failed == len(configs) else 0
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    from repro.store import DiskTier
+
+    tier = DiskTier(args.dir)
+    if args.action == "clear":
+        removed = tier.clear()
+        print(f"cleared {removed} cached artifact{'s' if removed != 1 else ''} "
+              f"from {args.dir}")
+        return 0
+    stats = tier.stats()
+    if not stats:
+        print(f"{args.dir}: empty stage cache")
+        return 0
+    total_entries = sum(s["entries"] for s in stats.values())
+    total_bytes = sum(s["bytes"] for s in stats.values())
+    print(f"{'stage':>10}{'entries':>9}{'bytes':>12}")
+    for stage, counters in stats.items():
+        print(f"{stage:>10}{counters['entries']:>9}{counters['bytes']:>12}")
+    print(f"{'total':>10}{total_entries:>9}{total_bytes:>12}")
     return 0
 
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "batch":
+        return _run_batch(args)
+    if args.command == "cache":
+        return _run_cache(args)
 
     model = SINRModel(alpha=args.alpha, beta=args.beta)
 

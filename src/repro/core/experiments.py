@@ -14,6 +14,12 @@ CLI, just inline and single-process — and the single-instance ones
 (OPT, TREES) build their instances from
 :class:`~repro.api.config.PipelineConfig`, so every experiment's
 component choices are registry names.
+
+All stage computation is mediated by the process-wide
+:class:`~repro.store.StageStore`: re-running an experiment in the same
+process (or sweeping one across model parameters, as TREES does across
+tree builders over a single clustered deployment) reuses cached
+deployments, trees and link sets instead of rebuilding them per call.
 """
 
 from __future__ import annotations
@@ -68,7 +74,11 @@ def _sweep_records(spec):
     """Run a spec inline through the sweep engine, indexed by (n, mode).
 
     The registry always runs single-process (``jobs=1``) — these are
-    seconds-fast artefacts; the ``sweep`` CLI is the parallel surface.
+    seconds-fast artefacts; the ``sweep`` CLI (and the
+    :class:`~repro.jobs.JobService` beneath it) is the parallel surface.
+    Stages shared between cells (deployments, trees) come from the
+    stage store, so the multi-mode sweeps here deploy each instance
+    once.
     """
     from repro.runner.engine import SweepEngine
 

@@ -50,3 +50,8 @@ class ConstructionError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid model or protocol configuration parameters."""
+
+
+class JobError(ReproError):
+    """A submitted job failed or was cancelled before producing a result
+    (see :class:`repro.jobs.JobService`)."""

@@ -1,24 +1,32 @@
 """The sweep execution engine.
 
-Executes the cells of a :class:`~repro.runner.spec.SweepSpec` with:
+Executes the cells of a :class:`~repro.runner.spec.SweepSpec` through
+the :class:`~repro.jobs.JobService` execution API:
 
-* **parallelism** — ``jobs > 1`` fans cells out over a
-  ``concurrent.futures`` process pool.  Each worker process builds its
-  own deployments and link sets, so the PR-1 kernel caches are
-  per-worker by construction (no shared mutable state, no lock traffic);
-  ``jobs == 1`` runs inline in-process (fully deterministic, easiest to
-  debug and monkeypatch in tests).
+* **parallelism** — ``jobs > 1`` fans cells out over the service's
+  worker pool.  Each worker process owns a per-process stage store
+  (:mod:`repro.store`), so deployments, trees, link sets and schedules
+  warm up per worker and the PR-1 kernel caches never cross process
+  boundaries; ``jobs == 1`` runs inline in-process (fully
+  deterministic, easiest to debug and monkeypatch in tests).
+* **stage reuse** — all stage computation routes through the shared
+  content-addressed store, so a ``topology x mode x alpha`` grid builds
+  each distinct deployment and tree once per process, not once per
+  cell; pass ``cache_dir`` to persist stage artifacts on disk across
+  runs.  Per-stage build/hit counters land in
+  ``SweepReport.store_stats``.
 * **deterministic seeding** — a cell's deployment *and* simulation RNG
   are seeded from the cell spec alone, so reruns and resumed runs
-  produce identical records regardless of scheduling order.
+  produce identical records regardless of scheduling order or cache
+  state.
 * **error isolation** — :func:`run_cell` converts any
   :class:`~repro.errors.ReproError` (or unexpected exception) into an
   ``status == "error"`` record; one infeasible or overflowing cell
   never kills the sweep.
 * **incremental, ordered persistence** — completed records are appended
-  to the output JSONL through a reorder buffer that flushes rows in
-  canonical cell order, so the file is crash-resumable *and* two runs
-  of the same spec are byte-identical modulo timing fields.
+  to the output JSONL in canonical cell order as their results are
+  collected, so the file is crash-resumable *and* two runs of the same
+  spec are byte-identical modulo timing fields.
 * **resume** — cells whose ids already appear as ``ok`` rows in the
   output file are skipped; failed rows are retried.
 """
@@ -27,7 +35,6 @@ from __future__ import annotations
 
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
@@ -36,6 +43,7 @@ from repro.api.config import PipelineConfig
 from repro.api.measurements import MeasurementContext, measurements
 from repro.api.pipeline import Pipeline
 from repro.errors import ConfigurationError, ReproError
+from repro.jobs.service import JobService
 from repro.runner.results import (
     CellResult,
     append_result,
@@ -45,16 +53,19 @@ from repro.runner.results import (
     write_results,
 )
 from repro.runner.spec import CellSpec, SweepSpec
+from repro.store.store import StageStore
 
 __all__ = ["SweepEngine", "SweepReport", "run_cell"]
 
 
-def run_cell(cell: CellSpec) -> CellResult:
+def run_cell(cell: CellSpec, *, store: Optional[StageStore] = None) -> CellResult:
     """Execute one sweep cell (module-level, hence pool-picklable).
 
     Resolves the cell's component names through the registry-backed
     :class:`~repro.api.pipeline.Pipeline`, builds the deployment and
-    tree, and applies every requested measurement from the measurement
+    tree — both mediated by the stage store (``store=None`` uses the
+    process default), so cells sharing stage signatures share artifacts
+    — and applies every requested measurement from the measurement
     registry (the schedule is built lazily, only when a measurement
     needs it).  All failures are captured in the record rather than
     raised.
@@ -83,7 +94,9 @@ def run_cell(cell: CellSpec) -> CellResult:
             beta=cell.beta,
             num_frames=cell.num_frames,
         )
-        pipeline = Pipeline(config)
+        pipeline = (
+            Pipeline(config) if store is None else Pipeline(config, store=store)
+        )
         points = pipeline.deploy()
         tree = pipeline.build_tree(points)
         ctx = MeasurementContext(
@@ -116,6 +129,11 @@ class SweepReport:
     skipped: int = 0
     failed: int = 0
     wall_time_s: float = 0.0
+    #: Per-stage store counters summed over every executed cell (hits,
+    #: builds, disk_hits, disk_writes) — additive across worker
+    #: processes.  ``{"deploy": {"builds": 2, ...}, ...}``; empty when
+    #: nothing executed.
+    store_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
@@ -133,7 +151,7 @@ class SweepReport:
 
 
 class SweepEngine:
-    """Runs every cell of a spec, in parallel, with persistence.
+    """Runs every cell of a spec through the job service, with persistence.
 
     Parameters
     ----------
@@ -147,6 +165,12 @@ class SweepEngine:
     resume:
         When true (default) and the output file exists, cells already
         recorded as ``ok`` are not re-executed; their rows are kept.
+    cache_dir:
+        Optional on-disk stage-cache directory.  Stage artifacts
+        (deployments, trees, schedules) persist there across engine
+        runs and processes, so a resumed sweep — or one whose cells
+        re-run because the spec now asks for more — never recomputes a
+        stage already on disk.
     cell_runner:
         Override of :func:`run_cell` — for tests with ``jobs == 1``
         (a pool requires a picklable module-level function).
@@ -159,6 +183,7 @@ class SweepEngine:
         jobs: int = 1,
         out_path: Optional[Union[str, Path]] = None,
         resume: bool = True,
+        cache_dir: Optional[Union[str, Path]] = None,
         cell_runner: Callable[[CellSpec], CellResult] = run_cell,
     ) -> None:
         if jobs < 1:
@@ -167,6 +192,7 @@ class SweepEngine:
         self.jobs = jobs
         self.out_path = Path(out_path) if out_path is not None else None
         self.resume = resume
+        self.cache_dir = cache_dir
         self.cell_runner = cell_runner
 
     # ------------------------------------------------------------------
@@ -225,7 +251,7 @@ class SweepEngine:
         pending = [c for c in cells if c.cell_id not in done]
 
         report = SweepReport(spec=self.spec, skipped=len(done))
-        fresh = self._execute(pending)
+        fresh = self._execute(pending, report)
 
         merged = [done.get(c.cell_id) or fresh[c.cell_id] for c in cells]
         if self.out_path is not None and had_existing_rows:
@@ -242,61 +268,47 @@ class SweepEngine:
         return report
 
     # ------------------------------------------------------------------
-    def _execute(self, pending: List[CellSpec]) -> Dict[str, CellResult]:
-        """Run the pending cells, appending records as they complete.
+    def _execute(
+        self, pending: List[CellSpec], report: SweepReport
+    ) -> Dict[str, CellResult]:
+        """Run the pending cells via the job service.
 
-        Completed records are flushed to the output file through a
-        reorder buffer, so on-disk order always follows the pending
-        list even when the pool finishes cells out of order.
+        All cells are submitted up front (the pool executes them
+        concurrently in any order); results are *collected* — and
+        appended to the output file — in canonical cell order, so the
+        on-disk order never depends on completion order.
         """
         fresh: Dict[str, CellResult] = {}
         if not pending:
             return fresh
-        flush_index = 0
-
-        def flush() -> None:
-            nonlocal flush_index
-            while flush_index < len(pending):
-                cell = pending[flush_index]
-                if cell.cell_id not in fresh:
-                    break
+        service = JobService(
+            workers=self.jobs,
+            cache_dir=self.cache_dir,
+            cell_runner=self.cell_runner if self.cell_runner is not run_cell else None,
+        )
+        try:
+            handles = service.submit_cells(pending)
+            for cell, handle in zip(pending, handles):
+                try:
+                    result = handle.result()
+                except Exception as exc:  # pragma: no cover - pool death
+                    result = CellResult(
+                        cell_id=cell.cell_id,
+                        topology=cell.topology,
+                        n=cell.n,
+                        mode=cell.mode,
+                        alpha=cell.alpha,
+                        beta=cell.beta,
+                        seed=cell.seed,
+                        tree=cell.tree,
+                        scheduler=cell.scheduler,
+                        status="error",
+                        error=f"worker failure: {exc!r}",
+                    )
+                fresh[cell.cell_id] = result
                 if self.out_path is not None:
-                    append_result(self.out_path, fresh[cell.cell_id])
-                flush_index += 1
-
-        if self.jobs == 1:
-            for cell in pending:
-                fresh[cell.cell_id] = self.cell_runner(cell)
-                flush()
-            return fresh
-
-        if self.cell_runner is not run_cell:
-            raise ConfigurationError(
-                "a custom cell_runner requires jobs=1 (pools need the "
-                "module-level run_cell)"
-            )
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            futures = {pool.submit(run_cell, cell): cell for cell in pending}
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for fut in finished:
-                    cell = futures[fut]
-                    try:
-                        fresh[cell.cell_id] = fut.result()
-                    except Exception as exc:  # pragma: no cover - pool death
-                        fresh[cell.cell_id] = CellResult(
-                            cell_id=cell.cell_id,
-                            topology=cell.topology,
-                            n=cell.n,
-                            mode=cell.mode,
-                            alpha=cell.alpha,
-                            beta=cell.beta,
-                            seed=cell.seed,
-                            tree=cell.tree,
-                            scheduler=cell.scheduler,
-                            status="error",
-                            error=f"worker failure: {exc!r}",
-                        )
-                flush()
+                    append_result(self.out_path, result)
+        finally:
+            service.close()
+        report.store_stats = service.store_stats()
         return fresh

@@ -1,0 +1,54 @@
+"""repro.store — the content-addressed stage-artifact store.
+
+The execution pipeline's stages (``deploy -> tree -> links ->
+schedule``) are pure functions of disjoint slices of a
+:class:`~repro.api.config.PipelineConfig`; this package gives each stage
+a canonical content key (:mod:`repro.store.keys`) and memoizes its
+artifact in a two-tier :class:`StageStore` (in-memory LRU plus an
+optional on-disk tier with atomic, schema-versioned writes).  A
+``topology x mode x alpha`` sweep therefore builds each distinct
+deployment and tree exactly once, however many cells share them.
+
+Every :class:`~repro.api.pipeline.Pipeline` routes its stages through
+the per-process default store unless configured otherwise;
+:class:`~repro.jobs.JobService` workers attach the disk tier and report
+per-job counter deltas back to the coordinating process.
+
+>>> from repro.api.config import PipelineConfig
+>>> from repro.store import StageStore, stage_keys
+>>> cfg = PipelineConfig(topology="grid", n=9)
+>>> sorted(stage_keys(cfg))
+['deploy', 'links', 'schedule', 'tree']
+"""
+
+from repro.store.keys import (
+    deploy_key,
+    links_key,
+    schedule_key,
+    stage_keys,
+    tree_key,
+)
+from repro.store.store import (
+    STORE_SCHEMA_VERSION,
+    DiskTier,
+    StageStore,
+    StoreStats,
+    configure_default_store,
+    get_default_store,
+    reset_default_store,
+)
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "DiskTier",
+    "StageStore",
+    "StoreStats",
+    "configure_default_store",
+    "deploy_key",
+    "get_default_store",
+    "links_key",
+    "reset_default_store",
+    "schedule_key",
+    "stage_keys",
+    "tree_key",
+]

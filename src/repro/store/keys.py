@@ -1,0 +1,140 @@
+"""Canonical cache keys for pipeline stages.
+
+Every stage of the execution pipeline is a pure function of a *subset*
+of the :class:`~repro.api.config.PipelineConfig` fields:
+
+* ``deploy``   depends on ``topology / n / seed / topology_params``
+  (the seed is dropped for deterministic topologies, so a seed axis
+  never splits their cache entries);
+* ``tree``     depends on the deployment signature plus
+  ``tree / sink / tree_params``;
+* ``links``    is a pure function of the tree (same signature, separate
+  stage namespace);
+* ``schedule`` depends on the tree signature plus
+  ``scheduler / power / scheduler_params``, the scheduler's declared
+  conflict-graph constants, and the full SINR model parameters.
+
+Signatures are canonical JSON (sorted keys) digested with SHA-1; two
+configs that differ only in fields a stage does not read share that
+stage's key, which is exactly what lets a ``topology x mode x alpha``
+sweep build each deployment and tree once.
+
+>>> from repro.api.config import PipelineConfig
+>>> a = PipelineConfig(topology="square", n=20, alpha=3.0)
+>>> b = PipelineConfig(topology="square", n=20, alpha=4.0)
+>>> deploy_key(a) == deploy_key(b) and tree_key(a) == tree_key(b)
+True
+>>> schedule_key(a) == schedule_key(b)
+False
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.api.components import power_schemes, schedulers, topologies
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.config import PipelineConfig
+    from repro.sinr.model import SINRModel
+
+__all__ = [
+    "deploy_key",
+    "tree_key",
+    "links_key",
+    "schedule_key",
+    "stage_keys",
+]
+
+
+def _digest(signature: Dict[str, Any]) -> str:
+    """Stable hex digest of a stage signature (canonical JSON, SHA-1)."""
+    payload = json.dumps(signature, sort_keys=True, default=repr)
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+
+def _deploy_signature(config: "PipelineConfig") -> Dict[str, Any]:
+    sig: Dict[str, Any] = {
+        "topology": config.topology,
+        "n": config.n,
+        "topology_params": dict(config.topology_params),
+    }
+    if topologies.get(config.topology).uses_seed:
+        sig["seed"] = config.seed
+    return sig
+
+
+def _tree_signature(config: "PipelineConfig") -> Dict[str, Any]:
+    return {
+        "deploy": _deploy_signature(config),
+        "tree": config.tree,
+        "sink": config.sink,
+        "tree_params": dict(config.tree_params),
+    }
+
+
+def _schedule_signature(
+    config: "PipelineConfig", model: Optional["SINRModel"] = None
+) -> Dict[str, Any]:
+    sig: Dict[str, Any] = {
+        "tree": _tree_signature(config),
+        "scheduler": config.scheduler,
+        "power": config.power,
+        "power_tau": power_schemes.get(config.power).tau,
+        "scheduler_params": dict(config.scheduler_params),
+    }
+    # Only the constants the scheduler declares reach its builder, so
+    # only those may split the key (a gamma override on tdma is inert).
+    for name in sorted(schedulers.get(config.scheduler).constants):
+        sig[name] = getattr(config, name)
+    if model is None:
+        from repro.sinr.model import SINRModel
+
+        model = SINRModel(alpha=config.alpha, beta=config.beta)
+    sig["model"] = {
+        "alpha": model.alpha,
+        "beta": model.beta,
+        "noise": model.noise,
+        "epsilon": model.epsilon,
+    }
+    return sig
+
+
+def deploy_key(config: "PipelineConfig") -> str:
+    """Cache key of the deployment stage."""
+    return _digest(_deploy_signature(config))
+
+
+def tree_key(config: "PipelineConfig") -> str:
+    """Cache key of the aggregation-tree stage."""
+    return _digest(_tree_signature(config))
+
+
+def links_key(config: "PipelineConfig") -> str:
+    """Cache key of the link-set stage (pure function of the tree)."""
+    return _digest(_tree_signature(config))
+
+
+def schedule_key(config: "PipelineConfig", model: Optional["SINRModel"] = None) -> str:
+    """Cache key of the schedule stage.
+
+    ``model`` is the explicit :class:`~repro.sinr.model.SINRModel` a
+    :class:`~repro.api.pipeline.Pipeline` was constructed with, when
+    any; a model carrying noise or margin parameters the config does not
+    encode gets its own key.
+    """
+    return _digest(_schedule_signature(config, model))
+
+
+def stage_keys(
+    config: "PipelineConfig", model: Optional["SINRModel"] = None
+) -> Dict[str, str]:
+    """All four stage keys of one config, by stage name."""
+    return {
+        "deploy": deploy_key(config),
+        "tree": tree_key(config),
+        "links": links_key(config),
+        "schedule": schedule_key(config, model),
+    }

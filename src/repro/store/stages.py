@@ -1,0 +1,201 @@
+"""Store-mediated pure stage functions.
+
+Each function here is the cached form of one pipeline stage: a pure
+function of a :class:`~repro.api.config.PipelineConfig` (and, for the
+schedule, the SINR model) routed through a :class:`StageStore`.  Calling
+``schedule_for(config, store)`` resolves the whole upstream chain —
+deployment, tree, link set — through the store, so any two configs
+sharing a stage signature share the *same artifact object* (and, for
+link sets, the same PR-1 kernel cache).
+
+Disk codecs keep persisted payloads compact and reconstructible:
+
+* ``deploy``   — the raw coordinate array;
+* ``tree``     — the edge list and sink (points come from the
+  deployment entry, so a tree file is a few hundred bytes);
+* ``links``    — memory-only (derived from the tree in O(n); its kernel
+  cache is process-local state that should not be persisted);
+* ``schedule`` — slot membership/power tuples plus the build report
+  (revalidation is skipped on decode: the schedule was certified when
+  built, and the envelope's schema/key checks catch foreign payloads).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.api.components import power_schemes, schedulers, topologies, trees
+from repro.geometry.point import PointSet
+from repro.scheduling.builder import BuildReport, PowerMode
+from repro.scheduling.schedule import Schedule, Slot
+from repro.sinr.model import SINRModel
+from repro.spanning.tree import AggregationTree
+from repro.store import keys
+from repro.store.store import StageStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.config import PipelineConfig
+    from repro.links.linkset import LinkSet
+    from repro.scheduling.builder import BuildReport as _BuildReport
+
+__all__ = [
+    "build_schedule_direct",
+    "canonical_deployment",
+    "canonical_links",
+    "deployment_for",
+    "links_for",
+    "schedule_for",
+    "tree_for",
+]
+
+
+# ----------------------------------------------------------------------
+# deploy
+# ----------------------------------------------------------------------
+def _decode_deployment(payload: Any) -> PointSet:
+    return PointSet(np.asarray(payload, dtype=float), check=False)
+
+
+def deployment_for(config: "PipelineConfig", store: StageStore) -> PointSet:
+    """The config's deployment, built at most once per store."""
+    spec = topologies.get(config.topology)
+
+    def build() -> PointSet:
+        return spec.build(config.n, rng=config.seed, **config.topology_params)
+
+    return store.get_or_build(
+        "deploy",
+        keys.deploy_key(config),
+        build,
+        encode=lambda points: np.asarray(points.coords),
+        decode=_decode_deployment,
+    )
+
+
+def canonical_deployment(
+    config: "PipelineConfig", store: StageStore, points: PointSet
+) -> bool:
+    """Whether ``points`` is the store's artifact for this config — the
+    guard that keeps explicitly supplied deployments out of the cache."""
+    return store.peek("deploy", keys.deploy_key(config)) is points
+
+
+# ----------------------------------------------------------------------
+# tree (+ links, primed alongside)
+# ----------------------------------------------------------------------
+def tree_for(config: "PipelineConfig", store: StageStore) -> AggregationTree:
+    """The config's aggregation tree over its cached deployment."""
+    points = deployment_for(config, store)
+    spec = trees.get(config.tree)
+
+    def build() -> AggregationTree:
+        return spec.build(points, sink=config.sink, **config.tree_params)
+
+    tree = store.get_or_build(
+        "tree",
+        keys.tree_key(config),
+        build,
+        encode=lambda t: {"edges": [[int(u), int(v)] for u, v in t.edges],
+                          "sink": int(t.sink)},
+        decode=lambda payload: AggregationTree(
+            points, [tuple(e) for e in payload["edges"]], sink=payload["sink"]
+        ),
+    )
+    # Prime the links stage so downstream identity checks and counters
+    # see one canonical LinkSet per tree (memory-only: no codec).
+    store.get_or_build("links", keys.links_key(config), tree.links)
+    return tree
+
+
+def links_for(config: "PipelineConfig", store: StageStore) -> "LinkSet":
+    """The config's convergecast link set (shared kernel cache included)."""
+    tree = tree_for(config, store)
+    return store.get_or_build("links", keys.links_key(config), tree.links)
+
+
+def canonical_links(
+    config: "PipelineConfig", store: StageStore, links: "LinkSet"
+) -> bool:
+    """Whether ``links`` is the store's artifact for this config."""
+    return store.peek("links", keys.links_key(config)) is links
+
+
+# ----------------------------------------------------------------------
+# schedule
+# ----------------------------------------------------------------------
+def build_schedule_direct(
+    config: "PipelineConfig", links: "LinkSet", model: SINRModel
+) -> Tuple[Schedule, Optional["_BuildReport"]]:
+    """One uncached scheduler invocation with the config's constants.
+
+    This is the single site that assembles scheduler kwargs (explicit
+    ``scheduler_params`` plus whichever of ``gamma``/``delta``/``tau``
+    the scheduler declares); both the cached path below and
+    :meth:`Pipeline.build_schedule` delegate here.
+    """
+    scheduler = schedulers.get(config.scheduler)
+    power = power_schemes.get(config.power)
+    params = dict(config.scheduler_params)
+    for name in scheduler.constants:
+        value = getattr(config, name)
+        if value is not None:
+            params.setdefault(name, value)
+    return scheduler.build(links, model, power, **params)
+
+
+def _encode_schedule(
+    built: Tuple[Schedule, Optional["_BuildReport"]]
+) -> Dict[str, Any]:
+    schedule, report = built
+    payload: Dict[str, Any] = {
+        "slots": [
+            [list(slot.link_indices), list(slot.powers)] for slot in schedule.slots
+        ],
+        "report": None,
+    }
+    if report is not None:
+        payload["report"] = {
+            "mode": report.mode.value,
+            "conflict_graph": report.conflict_graph,
+            "diversity": report.diversity,
+            "initial_colors": report.initial_colors,
+            "final_slots": report.final_slots,
+            "split_classes": report.split_classes,
+            "slot_sizes": list(report.slot_sizes),
+        }
+    return payload
+
+
+def _decode_schedule(
+    payload: Dict[str, Any], links: "LinkSet", model: SINRModel
+) -> Tuple[Schedule, Optional["_BuildReport"]]:
+    slots = [
+        Slot(tuple(int(i) for i in indices), tuple(float(p) for p in powers))
+        for indices, powers in payload["slots"]
+    ]
+    schedule = Schedule(links, slots, model, validate=False)
+    report = None
+    if payload["report"] is not None:
+        data = dict(payload["report"])
+        data["mode"] = PowerMode(data["mode"])
+        report = BuildReport(**data)
+    return schedule, report
+
+
+def schedule_for(
+    config: "PipelineConfig",
+    store: StageStore,
+    model: Optional[SINRModel] = None,
+) -> Tuple[Schedule, Optional["_BuildReport"]]:
+    """The config's certified ``(schedule, report)``, stage-cached."""
+    model = model or SINRModel(alpha=config.alpha, beta=config.beta)
+    links = links_for(config, store)
+    return store.get_or_build(
+        "schedule",
+        keys.schedule_key(config, model),
+        lambda: build_schedule_direct(config, links, model),
+        encode=_encode_schedule,
+        decode=lambda payload: _decode_schedule(payload, links, model),
+    )

@@ -314,6 +314,17 @@ class TestPublicSurface:
         assert result.convergecast.report.mode is PowerMode.OBLIVIOUS
         assert result.convergecast.simulation.stable
 
+    def test_simulation_result_type_exported_and_used(self):
+        from repro.api import Pipeline, PipelineConfig, RunArtifact, SimulationResult
+        import typing
+
+        artifact = Pipeline(
+            PipelineConfig(topology="grid", n=9, num_frames=2)
+        ).run()
+        assert isinstance(artifact.simulation, SimulationResult)
+        hints = typing.get_type_hints(RunArtifact)
+        assert hints["simulation"] == typing.Optional[SimulationResult]
+
     def test_protocol_accepts_mean_scheme(self):
         from repro import AggregationProtocol, PowerMode, uniform_square
 

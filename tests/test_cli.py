@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro._version import __version__
 from repro.cli import build_parser, main
 
 
@@ -11,6 +12,12 @@ class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
 
     def test_schedule_defaults(self):
         args = build_parser().parse_args(["schedule"])
@@ -206,3 +213,119 @@ class TestSweep:
         stdout = capsys.readouterr().out
         # Multi-valued axes join the group-by table.
         assert "tree" in stdout and "scheduler" in stdout
+
+    def test_sweep_cache_dir_persists_and_reports(self, capsys, tmp_path):
+        out, cache = tmp_path / "sweep.jsonl", tmp_path / "cache"
+        argv = [
+            "sweep", "--n", "10", "--mode", "global,oblivious",
+            "--out", str(out), "--cache-dir", str(cache),
+        ]
+        assert main(argv) == 0
+        stdout = capsys.readouterr().out
+        assert "stage cache:" in stdout
+        assert (cache / "deploy").is_dir() and (cache / "schedule").is_dir()
+
+
+class TestBatch:
+    @staticmethod
+    def write_configs(path, configs, *, jsonl=False):
+        if jsonl:
+            path.write_text("\n".join(json.dumps(c) for c in configs) + "\n")
+        else:
+            path.write_text(json.dumps(configs))
+
+    def test_batch_json_array(self, capsys, tmp_path):
+        src = tmp_path / "configs.json"
+        self.write_configs(
+            src,
+            [{"topology": "square", "n": 10, "power": m}
+             for m in ("global", "uniform")],
+        )
+        out = tmp_path / "results.jsonl"
+        assert main(["batch", str(src), "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "[0] ok" in stdout and "[1] ok" in stdout
+        assert "batch: 2 jobs, 2 ok, 0 failed" in stdout
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(rows) == 2
+        assert all(r["status"] == "ok" and r["slots"] >= 1 for r in rows)
+        assert rows[0]["config"]["power"] == "global"
+
+    def test_batch_jsonl(self, capsys, tmp_path):
+        src = tmp_path / "configs.jsonl"
+        self.write_configs(
+            src, [{"topology": "grid", "n": 9}], jsonl=True
+        )
+        assert main(["batch", str(src)]) == 0
+        assert "1 jobs, 1 ok" in capsys.readouterr().out
+
+    def test_batch_isolates_failing_configs(self, capsys, tmp_path):
+        src = tmp_path / "configs.json"
+        self.write_configs(
+            src,
+            [
+                {"topology": "square", "n": 10},
+                {"topology": "exponential", "n": 1100},  # overflows doubles
+            ],
+        )
+        assert main(["batch", str(src)]) == 0
+        stdout = capsys.readouterr().out
+        assert "[0] ok" in stdout and "[1] error" in stdout
+        assert "2 jobs, 1 ok, 1 failed" in stdout
+
+    def test_batch_all_failed_exits_2(self, capsys, tmp_path):
+        src = tmp_path / "configs.json"
+        self.write_configs(src, [{"topology": "exponential", "n": 1100}])
+        assert main(["batch", str(src)]) == 2
+
+    def test_batch_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["batch", str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_batch_bad_json_exits_2(self, capsys, tmp_path):
+        src = tmp_path / "configs.json"
+        src.write_text("not json at all")
+        assert main(["batch", str(src)]) == 2
+        assert "JSON" in capsys.readouterr().err
+
+    def test_batch_unknown_config_field_exits_2(self, capsys, tmp_path):
+        src = tmp_path / "configs.json"
+        self.write_configs(src, [{"flavor": "mint"}])
+        assert main(["batch", str(src)]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_batch_parallel_jobs(self, capsys, tmp_path):
+        src = tmp_path / "configs.json"
+        self.write_configs(
+            src,
+            [{"topology": "square", "n": n} for n in (8, 10, 12)],
+        )
+        assert main(["batch", str(src), "--jobs", "2"]) == 0
+        assert "3 jobs, 3 ok" in capsys.readouterr().out
+
+
+class TestCache:
+    def test_stats_empty_dir(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--dir", str(tmp_path / "cache")]) == 0
+        assert "empty stage cache" in capsys.readouterr().out
+
+    def test_stats_after_sweep(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(["sweep", "--n", "10", "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--dir", str(cache)]) == 0
+        stdout = capsys.readouterr().out
+        assert "deploy" in stdout and "schedule" in stdout and "total" in stdout
+
+    def test_clear_removes_entries(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(["sweep", "--n", "10", "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--dir", str(cache)]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "stats", "--dir", str(cache)]) == 0
+        assert "empty stage cache" in capsys.readouterr().out
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "prune", "--dir", "x"])

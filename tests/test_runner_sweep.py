@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.store import reset_default_store
 from repro.runner import (
     CellResult,
     SweepEngine,
@@ -364,6 +365,94 @@ class TestEngine:
     def test_bad_jobs_rejected(self):
         with pytest.raises(ConfigurationError, match="jobs"):
             SweepEngine(tiny_spec(), jobs=0)
+
+
+# ----------------------------------------------------------------------
+# Stage-store integration (Execution API v2)
+# ----------------------------------------------------------------------
+class TestEngineStageStore:
+    def test_model_axis_sweep_builds_each_stage_once(self, tmp_path):
+        # The acceptance grid: topology x mode x alpha with fixed n/seed
+        # must build each distinct deployment and tree exactly once —
+        # at least 2x fewer stage builds than cells.
+        reset_default_store()
+        spec = SweepSpec(
+            topologies=("square", "exponential"),
+            ns=(10,),
+            modes=("global", "oblivious"),
+            alphas=(3.0, 4.0),
+        )
+        report = SweepEngine(spec, out_path=tmp_path / "sweep.jsonl").run()
+        assert report.executed == spec.num_cells == 8
+        builds = report.store_stats
+        assert builds["deploy"]["builds"] == 2  # one per distinct deployment
+        assert builds["tree"]["builds"] == 2
+        assert builds["schedule"]["builds"] == 8  # every cell's model differs
+        assert (
+            builds["deploy"]["builds"] + builds["tree"]["builds"]
+            <= spec.num_cells / 2
+        )
+
+    def test_parallel_matches_serial_with_store(self, tmp_path):
+        reset_default_store()
+        spec = SweepSpec(
+            topologies=("square",),
+            ns=(12,),
+            modes=("global", "oblivious"),
+            alphas=(3.0, 3.5),
+        )
+        a, b = tmp_path / "serial.jsonl", tmp_path / "par.jsonl"
+        SweepEngine(spec, jobs=1, out_path=a).run()
+        SweepEngine(spec, jobs=2, out_path=b).run()
+        assert stripped(a) == stripped(b)
+
+    def test_resumed_sweep_reuses_stages_from_disk(self, tmp_path):
+        # Satellite contract: when cells of a resumed sweep re-run
+        # (content-based resume: frames were added), stages already
+        # persisted in the disk cache must not be recomputed.
+        out, cache = tmp_path / "sweep.jsonl", tmp_path / "cache"
+        spec = tiny_spec(seeds=1)
+        reset_default_store()
+        first = SweepEngine(spec, out_path=out, cache_dir=cache).run()
+        assert first.store_stats["deploy"]["builds"] == spec.num_cells
+        reset_default_store()  # models a fresh process: memory tier gone
+        resumed = SweepEngine(
+            tiny_spec(seeds=1, num_frames=2), out_path=out, cache_dir=cache
+        ).run()
+        assert resumed.executed == spec.num_cells  # frames force re-runs
+        stats = resumed.store_stats
+        assert stats["deploy"]["builds"] == 0
+        assert stats["deploy"]["disk_hits"] == spec.num_cells
+        assert stats["tree"]["builds"] == 0
+        assert stats["schedule"]["builds"] == 0  # certified pipeline cached too
+        assert all(r.frames_completed == 2 for r in read_results(out))
+
+    def test_resume_with_cache_skips_completed_and_upgrades_legacy(self, tmp_path):
+        # Legacy-alias rows upgrade cleanly with the disk store active.
+        out, cache = tmp_path / "sweep.jsonl", tmp_path / "cache"
+        spec = tiny_spec(seeds=1)
+        SweepEngine(spec, out_path=out, cache_dir=cache).run()
+        rows = read_results(out)
+        for row in rows:  # rewrite the file in the legacy id format
+            row.cell_id = (
+                f"{row.topology}/n{row.n}/{row.mode}"
+                f"/a{row.alpha:g}/b{row.beta:g}/s{row.seed}"
+            )
+        write_results(out, rows)
+        reset_default_store()
+        report = SweepEngine(spec, out_path=out, cache_dir=cache).run()
+        assert report.executed == 0 and report.skipped == spec.num_cells
+        assert report.store_stats == {}  # nothing ran, nothing rebuilt
+        upgraded = read_results(out)
+        assert {r.cell_id for r in upgraded} == {c.cell_id for c in spec.cells()}
+
+    def test_cache_never_changes_results(self, tmp_path):
+        spec = tiny_spec(num_frames=2)
+        cold, warm = tmp_path / "cold.jsonl", tmp_path / "warm.jsonl"
+        reset_default_store()
+        SweepEngine(spec, out_path=cold).run()
+        SweepEngine(spec, out_path=warm).run()  # fully warm store
+        assert stripped(cold) == stripped(warm)
 
 
 # ----------------------------------------------------------------------
