@@ -32,7 +32,10 @@ from repro.api import (
     PipelineConfig,
     Registry,
     RunArtifact,
+    ScenarioResult,
+    ScenarioRunner,
     SimulationResult,
+    register_scenario,
 )
 from repro.conflict import (
     ConflictGraph,
@@ -138,6 +141,8 @@ __all__ = [
     "RunArtifact",
     "SINRModel",
     "SUM",
+    "ScenarioResult",
+    "ScenarioRunner",
     "Schedule",
     "ScheduleBuilder",
     "ScheduleError",
@@ -170,6 +175,7 @@ __all__ = [
     "predicted_slots_global",
     "predicted_slots_oblivious",
     "protocol_model_schedule",
+    "register_scenario",
     "run_convergecast",
     "trivial_tdma_schedule",
     "uniform_disk",

@@ -1,13 +1,15 @@
 """repro.api — the registry-backed public composition surface.
 
-Five registries make every axis of the reproduction pluggable:
+Six registries make every axis of the reproduction pluggable:
 
 * :data:`~repro.api.components.topologies` — deployment families,
 * :data:`~repro.api.components.trees` — aggregation-tree builders,
 * :data:`~repro.api.components.power_schemes` — power regimes,
 * :data:`~repro.api.components.schedulers` — link schedulers,
 * :data:`~repro.api.measurements.measurements` — sweep metric
-  extractors.
+  extractors,
+* :data:`~repro.scenarios.transforms.scenarios` — dynamic scenario
+  transforms (churn, mobility, fading, online arrivals).
 
 A :class:`PipelineConfig` names one component per axis (validated
 eagerly, dict round-trip for provenance); a :class:`Pipeline` resolves
@@ -44,14 +46,26 @@ from repro.api.measurements import (
 from repro.api.config import PipelineConfig
 from repro.api.pipeline import Pipeline, RunArtifact
 from repro.api.registry import Registry
+from repro.scenarios import (
+    EpochResult,
+    ScenarioResult,
+    ScenarioRunner,
+    ScenarioSpec,
+    register_scenario,
+    scenarios,
+)
 
 __all__ = [
+    "EpochResult",
     "MeasurementContext",
     "Pipeline",
     "PipelineConfig",
     "PowerSchemeSpec",
     "Registry",
     "RunArtifact",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
     "SchedulerSpec",
     "SimulationResult",
     "TopologySpec",
@@ -59,8 +73,10 @@ __all__ = [
     "measurements",
     "power_schemes",
     "register_measurement",
+    "register_scenario",
     "register_topology",
     "register_tree",
+    "scenarios",
     "schedulers",
     "topologies",
     "trees",

@@ -10,6 +10,9 @@ print the build report.
 ``sweep``      — run a declarative scenario grid through the sweep
 engine (parallel workers, JSONL persistence, resume, optional on-disk
 stage cache).
+``scenario``   — run a dynamic scenario timeline (churn, mobility,
+fading, online arrivals) over one instance and print the per-epoch
+degradation table.
 ``batch``      — run a file of pipeline configs (JSON array or JSONL)
 through the :class:`~repro.jobs.JobService`.
 ``cache``      — inspect or clear an on-disk stage cache directory.
@@ -39,6 +42,7 @@ from repro.api.pipeline import Pipeline
 from repro.core.capacity import compare_power_modes
 from repro.errors import ConfigurationError, JobError, ReproError
 from repro.geometry.generators import topology_uses_seed
+from repro.scenarios.transforms import scenarios as scenario_registry
 from repro.sinr.model import SINRModel
 
 __all__ = ["main", "build_parser"]
@@ -213,6 +217,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--beta", type=_float_list, default=[1.0], help="comma-separated betas"
     )
     p_sweep.add_argument(
+        "--scenario",
+        type=_str_list,
+        default=["static"],
+        help="comma-separated dynamic scenarios "
+        f"({','.join(scenario_registry.names())})",
+    )
+    p_sweep.add_argument(
+        "--epochs",
+        type=int,
+        default=1,
+        help="scenario timeline length (static + 1 epoch = plain pipeline)",
+    )
+    p_sweep.add_argument(
         "--seeds", type=int, default=1, help="random repetitions per grid point"
     )
     p_sweep.add_argument(
@@ -233,6 +250,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="on-disk stage cache: deployments/trees/schedules persist "
         "here and are reused across runs",
+    )
+
+    p_scenario = sub.add_parser(
+        "scenario",
+        help="run a dynamic scenario timeline over one instance",
+        description="Run EPOCHS epochs of a named scenario transform (node "
+        "churn, mobility drift, channel fading, online arrivals) over one "
+        "pipeline instance, reporting per-epoch degradation against the "
+        "static baseline.",
+    )
+    p_scenario.add_argument(
+        "name",
+        choices=list(scenario_registry.names()),
+        help="scenario transform to run",
+    )
+    _add_instance_args(p_scenario)
+    p_scenario.add_argument(
+        "--mode",
+        choices=list(power_schemes.names()),
+        default="global",
+        help="power-control mode",
+    )
+    _add_scheduler_arg(p_scenario)
+    _add_constant_args(p_scenario)
+    p_scenario.add_argument(
+        "--epochs", type=int, default=5, help="timeline length"
+    )
+    p_scenario.add_argument(
+        "--frames", type=int, default=0,
+        help="frames to simulate per epoch (the arrivals scenario draws "
+        "its own online load instead)",
+    )
+    p_scenario.add_argument(
+        "--scenario-seed", type=int, default=None,
+        help="seed of the scenario's randomness (default: --seed)",
+    )
+    p_scenario.add_argument(
+        "--params", default=None,
+        help='JSON dict of transform parameters, e.g. \'{"p_leave": 0.2}\'',
+    )
+    p_scenario.add_argument(
+        "--json", dest="json_out", default=None,
+        help="write the full scenario record (epochs + degradation) as JSON",
+    )
+    p_scenario.add_argument(
+        "--cache-dir", default=None, help="on-disk stage cache directory"
     )
 
     p_batch = sub.add_parser(
@@ -278,6 +341,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
         seeds=args.seeds,
         base_seed=args.base_seed,
         num_frames=args.frames,
+        scenarios=tuple(args.scenario),
+        epochs=args.epochs,
     )
     engine = SweepEngine(
         spec,
@@ -292,6 +357,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
         keys += ("tree",)
     if len(spec.schedulers) > 1:
         keys += ("scheduler",)
+    if len(spec.scenarios) > 1:
+        keys += ("scenario",)
     print(report.summary())
     print(report.table(keys))
     if report.store_stats:
@@ -314,6 +381,53 @@ def _store_stats_line(stats: dict) -> str:
             part += f"/{disk_hits} disk"
         parts.append(part)
     return "stage cache: " + ", ".join(parts)
+
+
+def _run_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios.runner import ScenarioRunner
+    from repro.store.store import StageStore
+
+    params = {}
+    if args.params:
+        try:
+            params = json.loads(args.params)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"--params is not valid JSON: {exc}") from None
+        if not isinstance(params, dict):
+            raise ConfigurationError("--params must be a JSON object")
+    config = PipelineConfig(
+        topology=args.topology,
+        n=args.n,
+        seed=_effective_seed(args),
+        tree=args.tree,
+        power=args.mode,
+        scheduler=args.scheduler,
+        alpha=args.alpha,
+        beta=args.beta,
+        gamma=args.gamma,
+        delta=args.delta,
+        tau=args.tau,
+        num_frames=args.frames,
+    )
+    kwargs = {}
+    if args.cache_dir:
+        kwargs["store"] = StageStore(disk=args.cache_dir)
+    runner = ScenarioRunner(
+        config,
+        args.name,
+        epochs=args.epochs,
+        params=params,
+        scenario_seed=args.scenario_seed,
+        **kwargs,
+    )
+    result = runner.run()
+    print(result.summary())
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_json_dict(), fh, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote scenario record to {args.json_out}")
+    return 0
 
 
 def _load_batch_configs(path: Path) -> List[PipelineConfig]:
@@ -405,6 +519,8 @@ def _run_cache(args: argparse.Namespace) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "scenario":
+        return _run_scenario(args)
     if args.command == "batch":
         return _run_batch(args)
     if args.command == "cache":

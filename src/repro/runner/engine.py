@@ -70,6 +70,7 @@ def run_cell(cell: CellSpec, *, store: Optional[StageStore] = None) -> CellResul
     needs it).  All failures are captured in the record rather than
     raised.
     """
+    dynamic = cell.is_dynamic
     result = CellResult(
         cell_id=cell.cell_id,
         topology=cell.topology,
@@ -80,6 +81,8 @@ def run_cell(cell: CellSpec, *, store: Optional[StageStore] = None) -> CellResul
         seed=cell.seed,
         tree=cell.tree,
         scheduler=cell.scheduler,
+        scenario=cell.scenario,
+        scenario_epochs=cell.epochs if dynamic else None,
     )
     start = time.perf_counter()
     try:
@@ -107,6 +110,28 @@ def run_cell(cell: CellSpec, *, store: Optional[StageStore] = None) -> CellResul
             measurements.get(name)(ctx, result)
 
         attach_predictions(result)
+        if dynamic:
+            # The scenario timeline rides on the static measurements
+            # above: its baseline re-resolves through the same store
+            # (all hits), and the headline fields stay the plain
+            # pipeline's — bit-identical to a non-scenario cell.
+            from repro.scenarios.runner import ScenarioRunner
+
+            scenario_run = ScenarioRunner(
+                config,
+                cell.scenario,
+                epochs=cell.epochs,
+                scenario_seed=cell.seed,
+                store=pipeline.store,
+            ).run()
+            # Store counters are excluded: they vary with cache warmth
+            # and backend, and persisted rows are contractually
+            # byte-identical across reruns and jobs counts.
+            result.epoch_metrics = [
+                e.to_json_dict(with_store=False)
+                for e in scenario_run.epoch_results
+            ]
+            result.degradation = scenario_run.degradation
     except ReproError as exc:
         result.status = "error"
         result.error = f"{type(exc).__name__}: {exc}"
@@ -210,6 +235,12 @@ class SweepEngine:
             return False
         if cell.num_frames > 0 and row.frames_injected is None:
             return False
+        if cell.is_dynamic and (
+            row.epoch_metrics is None
+            or row.degradation is None
+            or len(row.epoch_metrics) != cell.epochs
+        ):
+            return False
         return True
 
     def run(self) -> SweepReport:
@@ -229,7 +260,7 @@ class SweepEngine:
         # mst/certified combination, so map that alias too instead of
         # re-running (and duplicating) every old cell.
         for c in cells:
-            if c.tree == "mst" and c.scheduler == "certified":
+            if c.tree == "mst" and c.scheduler == "certified" and not c.is_dynamic:
                 by_id.setdefault(c.legacy_cell_id, c)
         done: Dict[str, CellResult] = {}
         foreign: List[CellResult] = []
@@ -302,6 +333,8 @@ class SweepEngine:
                         seed=cell.seed,
                         tree=cell.tree,
                         scheduler=cell.scheduler,
+                        scenario=cell.scenario,
+                        scenario_epochs=cell.epochs if cell.is_dynamic else None,
                         status="error",
                         error=f"worker failure: {exc!r}",
                     )

@@ -44,6 +44,11 @@ class CellResult:
     Schedule fields are ``None`` when the cell failed or the spec did
     not request the ``schedule`` measurement; likewise the Theorem-2
     fields for ``g1`` and the simulation fields for ``num_frames == 0``.
+    Dynamic cells (a non-``static`` scenario, or ``epochs > 1``)
+    additionally carry one ``epoch_metrics`` dict per epoch plus the
+    aggregate ``degradation`` metrics; their headline schedule fields
+    describe the *static baseline*, so rows stay comparable across
+    scenarios.
     """
 
     cell_id: str
@@ -73,6 +78,11 @@ class CellResult:
     mean_latency: Optional[float] = None
     max_latency: Optional[int] = None
     stable: Optional[bool] = None
+    # -- dynamic scenario (scenario != static or epochs > 1) -----------
+    scenario: str = "static"
+    scenario_epochs: Optional[int] = None
+    epoch_metrics: Optional[List[Dict]] = None
+    degradation: Optional[Dict] = None
     # -- bookkeeping ----------------------------------------------------
     wall_time_s: float = 0.0
     error: Optional[str] = None

@@ -1,11 +1,11 @@
 """Declarative sweep specifications.
 
 A :class:`SweepSpec` is the full description of a scenario family: the
-cartesian grid ``topology x n x power-mode x tree x scheduler x alpha x
-beta x seed``.  Every named axis is validated eagerly against the
-component registries (:mod:`repro.api`) — so a sweep never dies halfway
-through on a malformed axis, and user-registered components are sweepable
-by name.  Cells enumerate deterministically — the enumeration order *is*
+cartesian grid ``topology x n x power-mode x tree x scheduler x
+scenario x alpha x beta x seed``.  Every named axis is validated eagerly
+against the component registries (:mod:`repro.api`,
+:mod:`repro.scenarios`) — so a sweep never dies halfway through on a
+malformed axis, and user-registered components are sweepable by name.  Cells enumerate deterministically — the enumeration order *is*
 the canonical cell order used for JSONL persistence and resume
 manifests.
 
@@ -22,6 +22,7 @@ from typing import Dict, Iterator, Sequence, Tuple
 from repro.api.components import power_schemes, schedulers, topologies, trees
 from repro.api.measurements import measurements
 from repro.errors import ConfigurationError
+from repro.scenarios.transforms import scenarios as scenario_registry
 from repro.scheduling.builder import PowerMode
 
 __all__ = ["CellSpec", "SweepSpec", "MEASUREMENTS"]
@@ -52,15 +53,32 @@ class CellSpec:
     scheduler: str = "certified"
     num_frames: int = 0
     measure: Tuple[str, ...] = ("schedule",)
+    scenario: str = "static"
+    epochs: int = 1
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Whether this cell runs a scenario timeline on top of the
+        static pipeline.  The default ``static``/1-epoch combination is
+        exactly the pre-scenario cell (same id, same record)."""
+        return self.scenario != "static" or self.epochs != 1
 
     @property
     def cell_id(self) -> str:
-        """Stable identifier used in JSONL rows and resume manifests."""
-        return (
+        """Stable identifier used in JSONL rows and resume manifests.
+
+        Dynamic cells append a ``/scn-<scenario>-e<epochs>`` segment;
+        static single-epoch cells keep the pre-scenario id, so existing
+        sweep files resume unchanged.
+        """
+        base = (
             f"{self.topology}/n{self.n}/{self.mode}"
             f"/{self.tree}/{self.scheduler}"
             f"/a{self.alpha:g}/b{self.beta:g}/s{self.seed}"
         )
+        if self.is_dynamic:
+            base += f"/scn-{self.scenario}-e{self.epochs}"
+        return base
 
     @property
     def legacy_cell_id(self) -> str:
@@ -107,6 +125,13 @@ class SweepSpec:
     measure:
         Which measurements to record (names from
         :data:`repro.api.measurements`).
+    scenarios:
+        Dynamic scenario transforms to run per grid point (names from
+        :data:`repro.scenarios.scenarios`).  The default ``static``
+        keeps cells identical to the pre-scenario engine.
+    epochs:
+        Timeline length for dynamic cells; ``static`` with ``epochs ==
+        1`` is the plain one-shot pipeline.
     """
 
     topologies: Tuple[str, ...]
@@ -120,12 +145,14 @@ class SweepSpec:
     base_seed: int = 0
     num_frames: int = 0
     measure: Tuple[str, ...] = ("schedule",)
+    scenarios: Tuple[str, ...] = ("static",)
+    epochs: int = 1
 
     def __post_init__(self) -> None:
         # Normalise sequences to tuples so specs hash and compare.
         axis_names = (
             "topologies", "ns", "modes", "trees", "schedulers",
-            "alphas", "betas", "measure",
+            "alphas", "betas", "measure", "scenarios",
         )
         for name in axis_names:
             value = getattr(self, name)
@@ -154,6 +181,12 @@ class SweepSpec:
             schedulers.get(scheduler)
         for m in self.measure:
             measurements.get(m)
+        for scenario in self.scenarios:
+            scenario_registry.get(scenario)
+        if not isinstance(self.epochs, int) or self.epochs < 1:
+            raise ConfigurationError(
+                f"epochs must be a positive int, got {self.epochs!r}"
+            )
         for n in self.ns:
             if not isinstance(n, int) or n < 2:
                 raise ConfigurationError(f"each n must be an int >= 2, got {n!r}")
@@ -185,6 +218,7 @@ class SweepSpec:
             * len(self.modes)
             * len(self.trees)
             * len(self.schedulers)
+            * len(self.scenarios)
             * len(self.alphas)
             * len(self.betas)
             * self.seeds
@@ -194,29 +228,32 @@ class SweepSpec:
         """Enumerate cells in canonical (deterministic) order.
 
         The nesting order is topology -> n -> mode -> tree -> scheduler
-        -> alpha -> beta -> seed, matching the axis order of the
-        dataclass fields.
+        -> scenario -> alpha -> beta -> seed, matching the axis order of
+        the dataclass fields.
         """
         for topology in self.topologies:
             for n in self.ns:
                 for mode in self.modes:
                     for tree in self.trees:
                         for scheduler in self.schedulers:
-                            for alpha in self.alphas:
-                                for beta in self.betas:
-                                    for k in range(self.seeds):
-                                        yield CellSpec(
-                                            topology=topology,
-                                            n=n,
-                                            mode=mode,
-                                            alpha=alpha,
-                                            beta=beta,
-                                            seed=self.base_seed + k,
-                                            tree=tree,
-                                            scheduler=scheduler,
-                                            num_frames=self.num_frames,
-                                            measure=self.measure,
-                                        )
+                            for scenario in self.scenarios:
+                                for alpha in self.alphas:
+                                    for beta in self.betas:
+                                        for k in range(self.seeds):
+                                            yield CellSpec(
+                                                topology=topology,
+                                                n=n,
+                                                mode=mode,
+                                                alpha=alpha,
+                                                beta=beta,
+                                                seed=self.base_seed + k,
+                                                tree=tree,
+                                                scheduler=scheduler,
+                                                num_frames=self.num_frames,
+                                                measure=self.measure,
+                                                scenario=scenario,
+                                                epochs=self.epochs,
+                                            )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:

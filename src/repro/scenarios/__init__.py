@@ -1,0 +1,48 @@
+"""repro.scenarios — dynamic scenario timelines over the static pipeline.
+
+The paper's aggregation schedules are proven for static deployments;
+this package measures how far they degrade when the deployment is *not*
+static.  A **scenario transform** (the sixth component registry) wraps a
+static :class:`~repro.api.config.PipelineConfig` into a timeline of
+epochs — node churn, random-waypoint mobility, channel fading, online
+frame arrivals, or the identity (``static``, the regression anchor) —
+and a :class:`ScenarioRunner` executes the timeline through the
+content-addressed stage store, reporting per-epoch degradation metrics
+(slots versus the static baseline, incremental tree-repair cost,
+slot-by-slot SINR feasibility violations, simulation stability).
+
+>>> from repro.scenarios import ScenarioRunner, scenarios
+>>> scenarios.names()
+('static', 'churn', 'mobility', 'fading', 'arrivals')
+>>> from repro.api.config import PipelineConfig
+>>> result = ScenarioRunner(
+...     PipelineConfig(topology="grid", n=9), "churn", epochs=2
+... ).run()
+>>> len(result.epoch_results)
+2
+"""
+
+from repro.scenarios.repair import (
+    complete_forest,
+    edge_ids,
+    map_edges_by_id,
+    repair_tree,
+)
+from repro.scenarios.runner import EpochResult, ScenarioResult, ScenarioRunner
+from repro.scenarios.timeline import TREE_POLICIES, EpochInstance
+from repro.scenarios.transforms import ScenarioSpec, register_scenario, scenarios
+
+__all__ = [
+    "EpochInstance",
+    "EpochResult",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "TREE_POLICIES",
+    "complete_forest",
+    "edge_ids",
+    "map_edges_by_id",
+    "register_scenario",
+    "repair_tree",
+    "scenarios",
+]

@@ -1,0 +1,507 @@
+"""The scenario runner: an epoch timeline executed through the store.
+
+A :class:`ScenarioRunner` resolves a scenario name against the registry
+(:mod:`repro.scenarios.transforms`), runs the **static baseline**
+through the ordinary :class:`~repro.api.pipeline.Pipeline`, then walks
+the epoch timeline.  Every epoch stage is mediated by the
+content-addressed :class:`~repro.store.StageStore`:
+
+* epochs whose deployment equals the base (``static``, ``fading``,
+  ``arrivals``) resolve through the *base* stage keys — deploy and tree
+  are hits, and only genuinely new work (a schedule under a faded
+  model, an online simulation) is computed;
+* epochs with derived deployments (``churn``, ``mobility``) get
+  scenario-scoped keys (:func:`repro.store.keys.deploy_key` with the
+  epoch signature), so a re-run — or a resume from a disk tier — reuses
+  every epoch already built, and each epoch's *input* (the previous
+  deployment) is re-resolved through the store, keeping the epoch chain
+  observable in the hit counters.
+
+Per-epoch :class:`EpochResult` records carry the degradation metrics:
+slots versus the static baseline, incremental tree-repair cost,
+slot-by-slot SINR feasibility violations (plus *stale* violations — the
+baseline schedule re-checked under a faded model), and the simulation
+outcome under online frame load.
+
+>>> from repro.api.config import PipelineConfig
+>>> from repro.scenarios.runner import ScenarioRunner
+>>> result = ScenarioRunner(
+...     PipelineConfig(topology="grid", n=9), "static", epochs=2
+... ).run()
+>>> [e.slots == result.baseline_slots for e in result.epoch_results]
+[True, True]
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api.components import trees
+from repro.api.config import PipelineConfig
+from repro.api.pipeline import Pipeline, RunArtifact
+from repro.errors import ConfigurationError
+from repro.geometry.point import PointSet
+from repro.scenarios.repair import edge_ids, map_edges_by_id, repair_tree
+from repro.scenarios.timeline import EpochInstance
+from repro.scenarios.transforms import ScenarioSpec, scenarios
+from repro.sinr.feasibility import is_feasible_with_power
+from repro.sinr.model import SINRModel
+from repro.spanning.tree import AggregationTree
+from repro.store import keys, stages
+from repro.store.store import StageStore, get_default_store
+
+__all__ = ["EpochResult", "ScenarioResult", "ScenarioRunner"]
+
+#: Sentinel distinguishing "use the process default store" from an
+#: explicit ``store=None`` opting out of stage caching.
+_DEFAULT_STORE = object()
+
+
+@dataclass
+class EpochResult:
+    """Degradation measurements of one scenario epoch.
+
+    ``slots_vs_baseline`` is the headline metric (epoch schedule length
+    over the static baseline's); ``repair_cost`` counts tree edges that
+    had to be added this epoch; ``feasibility_violations`` counts slots
+    of the epoch schedule that fail the SINR condition under the
+    epoch's model, and ``stale_violations`` re-checks the *baseline*
+    schedule under the epoch model (``None`` when the epoch shares the
+    baseline's links and model, or when links changed).  Simulation
+    fields are ``None`` for epochs without frames.
+    """
+
+    epoch: int
+    n: int
+    links: int
+    slots: int
+    rate: float
+    diversity: float
+    tree_height: int
+    repair_cost: int
+    slots_vs_baseline: float
+    feasibility_violations: int
+    stale_violations: Optional[int] = None
+    frames_injected: Optional[int] = None
+    frames_completed: Optional[int] = None
+    mean_latency: Optional[float] = None
+    max_backlog: Optional[int] = None
+    stable: Optional[bool] = None
+    store: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def to_json_dict(self, *, with_store: bool = True) -> Dict[str, Any]:
+        """JSON form; ``with_store=False`` drops the cache counters —
+        they depend on cache warmth and execution backend, so surfaces
+        with a byte-identical determinism contract (the sweep engine's
+        JSONL rows) must exclude them."""
+        out = asdict(self)
+        if not with_store:
+            out.pop("store")
+        return out
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    scenario: str
+    params: Dict[str, Any]
+    epochs: int
+    scenario_seed: int
+    config: Dict[str, Any]
+    baseline_slots: int
+    baseline_rate: float
+    baseline_predicted_slots: float
+    epoch_results: List[EpochResult] = field(default_factory=list)
+    provenance: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def degradation(self) -> Dict[str, Any]:
+        """Aggregate degradation metrics over the whole timeline."""
+        ratios = [e.slots_vs_baseline for e in self.epoch_results]
+        stale = [e.stale_violations for e in self.epoch_results
+                 if e.stale_violations is not None]
+        return {
+            "epochs": len(self.epoch_results),
+            "mean_slots_ratio": sum(ratios) / len(ratios) if ratios else None,
+            "max_slots_ratio": max(ratios) if ratios else None,
+            "final_slots_ratio": ratios[-1] if ratios else None,
+            "total_repair_cost": sum(e.repair_cost for e in self.epoch_results),
+            "total_violations": sum(
+                e.feasibility_violations for e in self.epoch_results
+            ),
+            "total_stale_violations": sum(stale) if stale else 0,
+            "unstable_epochs": sum(
+                1 for e in self.epoch_results if e.stable is False
+            ),
+        }
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (one scenario run, epochs inline)."""
+        return {
+            "scenario": self.scenario,
+            "params": dict(self.params),
+            "epochs": self.epochs,
+            "scenario_seed": self.scenario_seed,
+            "config": dict(self.config),
+            "baseline_slots": self.baseline_slots,
+            "baseline_rate": self.baseline_rate,
+            "baseline_predicted_slots": self.baseline_predicted_slots,
+            "epoch_results": [e.to_json_dict() for e in self.epoch_results],
+            "degradation": self.degradation,
+            "provenance": dict(self.provenance),
+        }
+
+    def summary(self) -> str:
+        """Human-readable per-epoch table plus the degradation line."""
+        lines = [
+            f"scenario={self.scenario} epochs={self.epochs} "
+            f"seed={self.scenario_seed} baseline_slots={self.baseline_slots}",
+            f"{'epoch':>6}{'n':>6}{'slots':>7}{'ratio':>7}{'repair':>8}"
+            f"{'viol':>6}{'stale':>7}{'stable':>8}",
+        ]
+        for e in self.epoch_results:
+            stale = "-" if e.stale_violations is None else str(e.stale_violations)
+            stable = "-" if e.stable is None else str(e.stable)
+            lines.append(
+                f"{e.epoch:>6}{e.n:>6}{e.slots:>7}{e.slots_vs_baseline:>7.2f}"
+                f"{e.repair_cost:>8}{e.feasibility_violations:>6}{stale:>7}"
+                f"{stable:>8}"
+            )
+        d = self.degradation
+        lines.append(
+            f"degradation: mean_ratio={d['mean_slots_ratio']:.2f} "
+            f"max_ratio={d['max_slots_ratio']:.2f} "
+            f"repair_cost={d['total_repair_cost']} "
+            f"violations={d['total_violations']} "
+            f"stale={d['total_stale_violations']} "
+            f"unstable={d['unstable_epochs']}"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class _EpochState:
+    """What the runner carries from one epoch to the next."""
+
+    points: PointSet
+    tree: AggregationTree
+    edge_id_set: frozenset
+    sig: Optional[Dict[str, Any]]  # scenario signature (None = base keys)
+
+
+class ScenarioRunner:
+    """Runs one scenario timeline over one pipeline config.
+
+    Parameters
+    ----------
+    config:
+        The static base instance (a plain pipeline config).
+    scenario:
+        Registry name of the scenario transform.
+    epochs:
+        Timeline length (>= 1).
+    params:
+        Extra keyword arguments for the transform (e.g.
+        ``{"p_leave": 0.2}`` for ``churn``).
+    scenario_seed:
+        Seed of the scenario's own randomness (departures, waypoints,
+        fades, arrivals); defaults to ``config.seed`` so a config alone
+        reproduces the whole timeline.
+    model:
+        Optional explicit base :class:`SINRModel` (as for
+        :class:`~repro.api.pipeline.Pipeline`).
+    store:
+        Stage store mediating all epoch computation; defaults to the
+        process-wide store, ``None`` disables caching.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        scenario: str = "static",
+        *,
+        epochs: int = 3,
+        params: Optional[Dict[str, Any]] = None,
+        scenario_seed: Optional[int] = None,
+        model: Optional[SINRModel] = None,
+        store: Any = _DEFAULT_STORE,
+    ) -> None:
+        self.config = config
+        self.spec: ScenarioSpec = scenarios.get(scenario)
+        if not isinstance(epochs, int) or epochs < 1:
+            raise ConfigurationError(f"epochs must be a positive int, got {epochs!r}")
+        self.epochs = epochs
+        self.params = dict(params or {})
+        self.scenario_seed = (
+            config.seed if scenario_seed is None else int(scenario_seed)
+        )
+        self.store: Optional[StageStore] = (
+            get_default_store() if store is _DEFAULT_STORE else store
+        )
+        self.pipeline = Pipeline(config, model=model, store=self.store)
+
+    # ------------------------------------------------------------------
+    def _signature(self, epoch: int) -> Dict[str, Any]:
+        """The scenario signature folded into epoch stage keys."""
+        return {
+            "scenario": self.spec.name,
+            "scenario_seed": self.scenario_seed,
+            "params": dict(sorted(self.params.items())),
+            "epoch": epoch,
+        }
+
+    # ------------------------------------------------------------------
+    # Store-mediated epoch stages
+    # ------------------------------------------------------------------
+    def _resolve_deploy(
+        self, inst: EpochInstance, prev: _EpochState, sig: Optional[Dict]
+    ) -> PointSet:
+        store = self.store
+        if store is None:
+            return inst.points
+        if sig is None:
+            return stages.deployment_for(self.config, store)
+        if sig != prev.sig:
+            # Re-resolve the epoch's *input* — the previous deployment —
+            # through the store: counts the chain in the hit counters
+            # and backfills a disk tier that lacks the entry.
+            prev_points = prev.points
+            store.get_or_build(
+                "deploy",
+                keys.deploy_key(self.config, scenario=prev.sig),
+                lambda: prev_points,
+                encode=stages._encode_deployment,
+                decode=stages._decode_deployment,
+            )
+        return store.get_or_build(
+            "deploy",
+            keys.deploy_key(self.config, scenario=sig),
+            lambda: inst.points,
+            encode=stages._encode_deployment,
+            decode=stages._decode_deployment,
+        )
+
+    def _build_tree(
+        self,
+        inst: EpochInstance,
+        prev: _EpochState,
+        points: PointSet,
+    ) -> AggregationTree:
+        """The epoch tree per the instance's tree policy (uncached)."""
+        if inst.tree_policy == "repair":
+            return repair_tree(points, inst.node_ids, prev.edge_id_set, inst.sink)
+        if inst.tree_policy == "rebuild":
+            return trees.get(self.config.tree).build(
+                points, sink=inst.sink, **self.config.tree_params
+            )
+        # "reuse": keep the previous structure, mapped through the
+        # persistent ids, with link geometry re-derived on new coords.
+        edges = map_edges_by_id(
+            prev.edge_id_set, inst.node_ids, require_all=True
+        )
+        return AggregationTree(points, edges, sink=inst.sink)
+
+    def _resolve_tree(
+        self,
+        inst: EpochInstance,
+        prev: _EpochState,
+        points: PointSet,
+        sig: Optional[Dict],
+    ) -> AggregationTree:
+        store = self.store
+        if sig is None:
+            if store is not None:
+                return stages.tree_for(self.config, store)
+            return prev.tree
+        if store is None:
+            return self._build_tree(inst, prev, points)
+        return store.get_or_build(
+            "tree",
+            keys.tree_key(self.config, scenario=sig),
+            lambda: self._build_tree(inst, prev, points),
+            encode=stages._encode_tree,
+            decode=lambda payload: stages._decode_tree(payload, points),
+        )
+
+    def _resolve_schedule(
+        self, inst: EpochInstance, links, sig: Optional[Dict]
+    ) -> Tuple[Any, Any]:
+        store = self.store
+        build = lambda: stages.build_schedule_direct(self.config, links, inst.model)
+        if store is None:
+            return build()
+        if sig is None:
+            store.get_or_build(
+                "links", keys.links_key(self.config), lambda: links
+            )
+        else:
+            store.get_or_build(
+                "links", keys.links_key(self.config, scenario=sig), lambda: links
+            )
+        return store.get_or_build(
+            "schedule",
+            keys.schedule_key(self.config, inst.model, scenario=sig),
+            build,
+            encode=stages._encode_schedule,
+            decode=lambda payload: stages._decode_schedule(
+                payload, links, inst.model
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _count_violations(schedule, model: SINRModel) -> int:
+        """Slots of ``schedule`` that fail the SINR condition under
+        ``model`` — slot-by-slot, through the link set's kernel cache."""
+        violations = 0
+        for slot in schedule.slots:
+            vec = schedule._full_power_vector(slot)
+            if not is_feasible_with_power(
+                schedule.links, vec, model, slot.link_indices
+            ):
+                violations += 1
+        return violations
+
+    def _simulate(
+        self, inst: EpochInstance, tree: AggregationTree, schedule, result: EpochResult
+    ) -> None:
+        if inst.num_frames <= 0:
+            return
+        from repro.aggregation.simulator import AggregationSimulator
+
+        period = schedule.num_slots
+        injection = max(1, int(round(period / inst.load)))
+        sim = AggregationSimulator(tree, schedule).run(
+            inst.num_frames,
+            injection_period=injection,
+            rng=np.random.default_rng((self.scenario_seed, inst.index)),
+        )
+        result.frames_injected = sim.frames_injected
+        result.frames_completed = sim.frames_completed
+        mean_latency = sim.mean_latency
+        result.mean_latency = (
+            None if math.isnan(mean_latency) else float(mean_latency)
+        )
+        result.max_backlog = int(sim.max_backlog)
+        result.stable = bool(sim.stable)
+
+    # ------------------------------------------------------------------
+    def run(self) -> ScenarioResult:
+        """Execute baseline + timeline; return the full scenario record."""
+        # The baseline needs only the static artifacts (slots, tree,
+        # schedule) — never its frame simulation, which epochs redo
+        # under their own load — so it runs frames-free; num_frames is
+        # in no stage signature, so the store entries are shared either
+        # way.
+        base_pipeline = self.pipeline
+        if self.config.num_frames > 0:
+            base_pipeline = Pipeline(
+                self.config.replace(num_frames=0),
+                model=self.pipeline.model,
+                store=self.store,
+            )
+        baseline: RunArtifact = base_pipeline.run()
+        result = ScenarioResult(
+            scenario=self.spec.name,
+            params=dict(self.params),
+            epochs=self.epochs,
+            scenario_seed=self.scenario_seed,
+            config=self.config.to_dict(),
+            baseline_slots=baseline.num_slots,
+            baseline_rate=baseline.rate,
+            baseline_predicted_slots=baseline.predicted_slots,
+            provenance={**baseline.provenance, "config": self.config.to_dict()},
+        )
+        timeline = self.spec.make(
+            self.config,
+            baseline.points,
+            self.pipeline.model,
+            epochs=self.epochs,
+            rng=self.scenario_seed,
+            **self.params,
+        )
+        prev = _EpochState(
+            points=baseline.points,
+            tree=baseline.tree,
+            edge_id_set=edge_ids(
+                baseline.tree.edges, np.arange(len(baseline.points))
+            ),
+            sig=None,
+        )
+        # Computed at most once: epochs identical to the baseline
+        # (static anchor, no-op churn) share this count instead of
+        # re-checking every slot per epoch.
+        baseline_violations: Optional[int] = None
+        for inst in timeline:
+            before = (
+                self.store.stats.snapshot() if self.store is not None else None
+            )
+            if inst.scenario_scoped and inst.changed:
+                sig = self._signature(inst.index)
+            else:
+                sig = prev.sig
+            points = self._resolve_deploy(inst, prev, sig)
+            tree = self._resolve_tree(inst, prev, points, sig)
+            links = tree.links()
+            schedule, _report = self._resolve_schedule(inst, links, sig)
+            edge_set = edge_ids(tree.edges, inst.node_ids)
+            repair_cost = (
+                len(edge_set - prev.edge_id_set) if sig is not None else 0
+            )
+            base_instance = sig is None  # base-keyed: the static artifacts
+            base_model = inst.model == self.pipeline.model
+            if base_instance and base_model:
+                if baseline_violations is None:
+                    baseline_violations = self._count_violations(
+                        schedule, inst.model
+                    )
+                violations = baseline_violations
+            else:
+                violations = self._count_violations(schedule, inst.model)
+            epoch = EpochResult(
+                epoch=inst.index,
+                n=len(points),
+                links=len(links),
+                slots=schedule.num_slots,
+                rate=schedule.rate,
+                diversity=float(links.diversity),
+                tree_height=tree.height(),
+                repair_cost=repair_cost,
+                slots_vs_baseline=schedule.num_slots / baseline.num_slots,
+                feasibility_violations=violations,
+            )
+            if base_instance and not base_model:
+                # The epoch shares the baseline's links (base stage
+                # keys), only the channel changed: re-check the *stale*
+                # baseline schedule under the epoch model.
+                epoch.stale_violations = self._count_violations(
+                    baseline.schedule, inst.model
+                )
+            self._simulate(inst, tree, schedule, epoch)
+            if before is not None:
+                epoch.store = self.store.stats.delta(before)
+            result.epoch_results.append(epoch)
+            prev = _EpochState(
+                points=points, tree=tree, edge_id_set=edge_set, sig=sig
+            )
+        if len(result.epoch_results) != self.epochs:
+            # A transform is contractually one instance per epoch; a
+            # short timeline would otherwise poison sweep resume (rows
+            # with len(epoch_metrics) != epochs re-run forever) and
+            # leave degradation aggregates undefined.
+            raise ConfigurationError(
+                f"scenario {self.spec.name!r} yielded "
+                f"{len(result.epoch_results)} epochs, expected {self.epochs}"
+            )
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"ScenarioRunner(scenario={self.spec.name!r}, epochs={self.epochs}, "
+            f"config={self.config.topology!r}/n{self.config.n})"
+        )

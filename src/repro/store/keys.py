@@ -19,6 +19,16 @@ configs that differ only in fields a stage does not read share that
 stage's key, which is exactly what lets a ``topology x mode x alpha``
 sweep build each deployment and tree once.
 
+Dynamic scenarios (:mod:`repro.scenarios`) fold an extra *scenario
+signature* — ``{"scenario", "scenario_seed", "params", "epoch"}`` —
+into the deploy signature (and therefore, transitively, into every
+downstream stage key).  Epochs whose deployment is unchanged from the
+static base (``static``, ``fading``, ``arrivals``) pass
+``scenario=None`` and keep sharing the base artifacts; epochs with
+derived deployments (``churn``, ``mobility``) get their own
+content-addressed entries, so re-running a scenario — or resuming one
+from a disk tier — reuses every epoch already built.
+
 >>> from repro.api.config import PipelineConfig
 >>> a = PipelineConfig(topology="square", n=20, alpha=3.0)
 >>> b = PipelineConfig(topology="square", n=20, alpha=4.0)
@@ -55,7 +65,9 @@ def _digest(signature: Dict[str, Any]) -> str:
     return hashlib.sha1(payload.encode("utf-8")).hexdigest()
 
 
-def _deploy_signature(config: "PipelineConfig") -> Dict[str, Any]:
+def _deploy_signature(
+    config: "PipelineConfig", scenario: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
     sig: Dict[str, Any] = {
         "topology": config.topology,
         "n": config.n,
@@ -63,12 +75,16 @@ def _deploy_signature(config: "PipelineConfig") -> Dict[str, Any]:
     }
     if topologies.get(config.topology).uses_seed:
         sig["seed"] = config.seed
+    if scenario is not None:
+        sig["scenario"] = dict(scenario)
     return sig
 
 
-def _tree_signature(config: "PipelineConfig") -> Dict[str, Any]:
+def _tree_signature(
+    config: "PipelineConfig", scenario: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
     return {
-        "deploy": _deploy_signature(config),
+        "deploy": _deploy_signature(config, scenario),
         "tree": config.tree,
         "sink": config.sink,
         "tree_params": dict(config.tree_params),
@@ -76,10 +92,12 @@ def _tree_signature(config: "PipelineConfig") -> Dict[str, Any]:
 
 
 def _schedule_signature(
-    config: "PipelineConfig", model: Optional["SINRModel"] = None
+    config: "PipelineConfig",
+    model: Optional["SINRModel"] = None,
+    scenario: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     sig: Dict[str, Any] = {
-        "tree": _tree_signature(config),
+        "tree": _tree_signature(config, scenario),
         "scheduler": config.scheduler,
         "power": config.power,
         "power_tau": power_schemes.get(config.power).tau,
@@ -102,39 +120,58 @@ def _schedule_signature(
     return sig
 
 
-def deploy_key(config: "PipelineConfig") -> str:
-    """Cache key of the deployment stage."""
-    return _digest(_deploy_signature(config))
+def deploy_key(
+    config: "PipelineConfig", scenario: Optional[Dict[str, Any]] = None
+) -> str:
+    """Cache key of the deployment stage.
+
+    ``scenario`` is the optional epoch signature of a dynamic scenario
+    (:mod:`repro.scenarios`); ``None`` — the static pipeline — keeps the
+    pre-scenario key unchanged.
+    """
+    return _digest(_deploy_signature(config, scenario))
 
 
-def tree_key(config: "PipelineConfig") -> str:
+def tree_key(
+    config: "PipelineConfig", scenario: Optional[Dict[str, Any]] = None
+) -> str:
     """Cache key of the aggregation-tree stage."""
-    return _digest(_tree_signature(config))
+    return _digest(_tree_signature(config, scenario))
 
 
-def links_key(config: "PipelineConfig") -> str:
+def links_key(
+    config: "PipelineConfig", scenario: Optional[Dict[str, Any]] = None
+) -> str:
     """Cache key of the link-set stage (pure function of the tree)."""
-    return _digest(_tree_signature(config))
+    return _digest(_tree_signature(config, scenario))
 
 
-def schedule_key(config: "PipelineConfig", model: Optional["SINRModel"] = None) -> str:
+def schedule_key(
+    config: "PipelineConfig",
+    model: Optional["SINRModel"] = None,
+    scenario: Optional[Dict[str, Any]] = None,
+) -> str:
     """Cache key of the schedule stage.
 
     ``model`` is the explicit :class:`~repro.sinr.model.SINRModel` a
     :class:`~repro.api.pipeline.Pipeline` was constructed with, when
     any; a model carrying noise or margin parameters the config does not
-    encode gets its own key.
+    encode gets its own key.  Scenario epochs pass their perturbed model
+    here (fading), their epoch signature as ``scenario`` (churn,
+    mobility), or both.
     """
-    return _digest(_schedule_signature(config, model))
+    return _digest(_schedule_signature(config, model, scenario))
 
 
 def stage_keys(
-    config: "PipelineConfig", model: Optional["SINRModel"] = None
+    config: "PipelineConfig",
+    model: Optional["SINRModel"] = None,
+    scenario: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, str]:
     """All four stage keys of one config, by stage name."""
     return {
-        "deploy": deploy_key(config),
-        "tree": tree_key(config),
-        "links": links_key(config),
-        "schedule": schedule_key(config, model),
+        "deploy": deploy_key(config, scenario),
+        "tree": tree_key(config, scenario),
+        "links": links_key(config, scenario),
+        "schedule": schedule_key(config, model, scenario),
     }

@@ -54,6 +54,12 @@ __all__ = [
 # ----------------------------------------------------------------------
 # deploy
 # ----------------------------------------------------------------------
+def _encode_deployment(points: PointSet) -> Any:
+    """Disk payload of a deployment — the single write-side codec for
+    the ``deploy`` stage (scenario epochs reuse it too)."""
+    return np.asarray(points.coords)
+
+
 def _decode_deployment(payload: Any) -> PointSet:
     return PointSet(np.asarray(payload, dtype=float), check=False)
 
@@ -69,7 +75,7 @@ def deployment_for(config: "PipelineConfig", store: StageStore) -> PointSet:
         "deploy",
         keys.deploy_key(config),
         build,
-        encode=lambda points: np.asarray(points.coords),
+        encode=_encode_deployment,
         decode=_decode_deployment,
     )
 
@@ -85,6 +91,21 @@ def canonical_deployment(
 # ----------------------------------------------------------------------
 # tree (+ links, primed alongside)
 # ----------------------------------------------------------------------
+def _encode_tree(tree: AggregationTree) -> Dict[str, Any]:
+    """Disk payload of a tree (edge list + sink; points come from the
+    deployment entry) — the single write-side codec for ``tree``."""
+    return {
+        "edges": [[int(u), int(v)] for u, v in tree.edges],
+        "sink": int(tree.sink),
+    }
+
+
+def _decode_tree(payload: Dict[str, Any], points: PointSet) -> AggregationTree:
+    return AggregationTree(
+        points, [tuple(e) for e in payload["edges"]], sink=payload["sink"]
+    )
+
+
 def tree_for(config: "PipelineConfig", store: StageStore) -> AggregationTree:
     """The config's aggregation tree over its cached deployment."""
     points = deployment_for(config, store)
@@ -97,11 +118,8 @@ def tree_for(config: "PipelineConfig", store: StageStore) -> AggregationTree:
         "tree",
         keys.tree_key(config),
         build,
-        encode=lambda t: {"edges": [[int(u), int(v)] for u, v in t.edges],
-                          "sink": int(t.sink)},
-        decode=lambda payload: AggregationTree(
-            points, [tuple(e) for e in payload["edges"]], sink=payload["sink"]
-        ),
+        encode=_encode_tree,
+        decode=lambda payload: _decode_tree(payload, points),
     )
     # Prime the links stage so downstream identity checks and counters
     # see one canonical LinkSet per tree (memory-only: no codec).

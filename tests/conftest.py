@@ -1,9 +1,22 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite (and hypothesis profiles).
+
+Hypothesis profiles — select with ``HYPOTHESIS_PROFILE=<name>``:
+
+* ``dev`` (default) — the library defaults; individual tests pin their
+  own ``max_examples`` where generation is expensive.
+* ``ci`` — deeper search (more examples, no deadline) for scheduled CI
+  runs.
+* ``quick`` — a handful of examples per property, for fast local
+  iteration.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro import (
     AggregationTree,
@@ -12,6 +25,11 @@ from repro import (
     SINRModel,
     uniform_square,
 )
+
+settings.register_profile("dev", settings.default)
+settings.register_profile("ci", max_examples=200, deadline=None)
+settings.register_profile("quick", max_examples=10, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

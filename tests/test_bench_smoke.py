@@ -1,0 +1,72 @@
+"""Benchmark smoke: every ``benchmarks/bench_*.py`` must still run.
+
+The benchmarks reproduce paper artefacts and assert their qualitative
+shape, but they are not collected by the tier-1 run (their files match
+``bench_*``, not ``test_*``) — so API drift could rot them silently.
+This module turns each bench file into one parametrized smoke test:
+executed in a subprocess with ``BENCH_SMOKE=1`` (small grids where the
+bench supports it) and ``--benchmark-disable`` (each timed body runs
+exactly once).
+
+The whole sweep costs about a minute, so it only runs when the
+environment opts in with ``BENCH_SMOKE=1`` — locally or in the CI
+``bench-smoke`` job; without it the tests skip.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+BENCH_FILES = sorted(p.name for p in BENCH_DIR.glob("bench_*.py"))
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("BENCH_SMOKE") != "1",
+    reason="bench smoke runs only with BENCH_SMOKE=1 (slow; see CI bench-smoke job)",
+)
+
+
+def test_bench_files_discovered():
+    """The glob itself is load-bearing: an empty list would silently
+    skip the whole sweep."""
+    assert len(BENCH_FILES) >= 10, BENCH_FILES
+
+
+@pytest.mark.parametrize("bench_file", BENCH_FILES)
+def test_bench_runs_clean(bench_file):
+    env = dict(os.environ)
+    env["BENCH_SMOKE"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-o",
+            "python_files=bench_*.py",
+            "-p",
+            "no:cacheprovider",
+            "--benchmark-disable",
+            "-q",
+            "-x",
+            str(BENCH_DIR / bench_file),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{bench_file} failed (exit {proc.returncode})\n"
+        f"--- stdout ---\n{proc.stdout[-4000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-4000:]}"
+    )

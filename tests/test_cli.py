@@ -304,6 +304,66 @@ class TestBatch:
         assert "3 jobs, 3 ok" in capsys.readouterr().out
 
 
+class TestScenarioCommand:
+    def test_churn_prints_epoch_table(self, capsys):
+        assert main(["scenario", "churn", "--n", "16", "--epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario=churn epochs=2" in out
+        assert "degradation:" in out
+
+    def test_json_record(self, capsys, tmp_path):
+        out_file = tmp_path / "scenario.json"
+        assert main(
+            ["scenario", "churn", "--n", "16", "--epochs", "2",
+             "--json", str(out_file)]
+        ) == 0
+        record = json.loads(out_file.read_text())
+        assert record["scenario"] == "churn"
+        assert len(record["epoch_results"]) == 2
+        assert record["epoch_results"][1]["store"]["deploy"]["hits"] > 0
+
+    def test_params_json_forwarded(self, capsys):
+        assert main(
+            ["scenario", "churn", "--n", "16", "--epochs", "2",
+             "--params", '{"p_leave": 0.0, "p_join": 0.0}']
+        ) == 0
+        out = capsys.readouterr().out
+        # No churn at all: every epoch matches the baseline exactly.
+        assert "mean_ratio=1.00" in out
+
+    def test_bad_params_exit_2(self, capsys):
+        assert main(
+            ["scenario", "churn", "--n", "16", "--params", "not-json"]
+        ) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_unknown_scenario_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "earthquake"])
+
+    def test_scenario_cache_dir(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(
+            ["scenario", "fading", "--n", "16", "--epochs", "2",
+             "--cache-dir", str(cache)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--dir", str(cache)]) == 0
+        assert "schedule" in capsys.readouterr().out
+
+    def test_sweep_scenario_axis(self, capsys, tmp_path):
+        out = tmp_path / "dyn.jsonl"
+        assert main(
+            ["sweep", "--n", "14", "--scenario", "static,churn",
+             "--epochs", "2", "--out", str(out)]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "scenario" in stdout  # the group-by gains the scenario key
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert {r["scenario"] for r in rows} == {"static", "churn"}
+        assert all(len(r["epoch_metrics"]) == 2 for r in rows)
+
+
 class TestCache:
     def test_stats_empty_dir(self, capsys, tmp_path):
         assert main(["cache", "stats", "--dir", str(tmp_path / "cache")]) == 0

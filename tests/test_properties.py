@@ -8,6 +8,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
+from repro.api.config import PipelineConfig
+from repro.store.keys import deploy_key, links_key, schedule_key, stage_keys, tree_key
+
 from repro.coloring.greedy import greedy_coloring
 from repro.coloring.refinement import refine_by_interference
 from repro.coloring.validation import is_proper_coloring
@@ -207,6 +210,126 @@ class TestColoringProperties:
         g1 = g1_graph(links, gamma=1.0)
         for bucket in refine_by_interference(links, MODEL.alpha):
             assert g1.is_independent(bucket)
+
+
+# ---------------------------------------------------------------------------
+# Stage-store cache keys
+# ---------------------------------------------------------------------------
+def pipeline_configs():
+    """Valid PipelineConfigs across every registry axis and the numeric
+    model/instance parameters the stage keys read."""
+    return st.builds(
+        PipelineConfig,
+        topology=st.sampled_from(("square", "disk", "grid", "clusters", "exponential")),
+        n=st.integers(2, 256),
+        seed=st.integers(0, 9),
+        sink=st.just(0),
+        tree=st.sampled_from(("mst", "matching", "knn-mst")),
+        power=st.sampled_from(("global", "oblivious", "uniform", "linear", "mean")),
+        scheduler=st.sampled_from(
+            ("certified", "greedy-sinr", "protocol-model", "tdma")
+        ),
+        alpha=st.floats(2.1, 6.0, allow_nan=False),
+        beta=st.floats(0.1, 4.0, allow_nan=False),
+        num_frames=st.integers(0, 3),
+    )
+
+
+class TestStoreKeyProperties:
+    """The cache-collision guards on :mod:`repro.store.keys`.
+
+    Keys are pure functions of the config: equal configs must agree on
+    every stage key (or the store would rebuild needlessly), and any
+    change to a field a stage reads must change that stage's key (or
+    the store would silently alias two different artifacts).
+    """
+
+    @settings(max_examples=50, deadline=None)
+    @given(pipeline_configs())
+    def test_equal_configs_equal_keys(self, config):
+        twin = PipelineConfig.from_dict(config.to_dict())
+        assert twin == config
+        assert stage_keys(twin) == stage_keys(config)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pipeline_configs())
+    def test_dict_round_trip_is_key_stable(self, config):
+        """to_dict/from_dict twice (the provenance path) never drifts."""
+        once = PipelineConfig.from_dict(config.to_dict())
+        twice = PipelineConfig.from_dict(once.to_dict())
+        assert stage_keys(twice) == stage_keys(config)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pipeline_configs())
+    def test_n_change_splits_every_stage(self, config):
+        other = config.replace(n=config.n + 1)
+        mine, theirs = stage_keys(config), stage_keys(other)
+        assert all(mine[stage] != theirs[stage] for stage in mine)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pipeline_configs())
+    def test_alpha_splits_only_the_schedule(self, config):
+        other = config.replace(alpha=config.alpha + 0.25)
+        assert deploy_key(other) == deploy_key(config)
+        assert tree_key(other) == tree_key(config)
+        assert links_key(other) == links_key(config)
+        assert schedule_key(other) != schedule_key(config)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pipeline_configs(), st.sampled_from(("mst", "matching", "knn-mst")))
+    def test_tree_splits_tree_and_schedule_not_deploy(self, config, tree):
+        other = config.replace(tree=tree)
+        assert deploy_key(other) == deploy_key(config)
+        if tree == config.tree:
+            assert stage_keys(other) == stage_keys(config)
+        else:
+            assert tree_key(other) != tree_key(config)
+            assert schedule_key(other) != schedule_key(config)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pipeline_configs())
+    def test_seed_splits_deploy_iff_topology_uses_it(self, config):
+        from repro.api.components import topologies
+
+        other = config.replace(seed=config.seed + 1)
+        uses_seed = topologies.get(config.topology).uses_seed
+        assert (deploy_key(other) != deploy_key(config)) == uses_seed
+        assert (schedule_key(other) != schedule_key(config)) == uses_seed
+
+    @settings(max_examples=50, deadline=None)
+    @given(pipeline_configs(), st.floats(0.5, 3.0, allow_nan=False))
+    def test_declared_constants_split_the_schedule_key(self, config, gamma):
+        """gamma splits schedulers that declare it and is inert on the
+        rest (a gamma override on tdma must not fragment its cache)."""
+        from repro.api.components import schedulers
+
+        other = config.replace(gamma=gamma)
+        declared = "gamma" in schedulers.get(config.scheduler).constants
+        assert (schedule_key(other) != schedule_key(config)) == declared
+        assert deploy_key(other) == deploy_key(config)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pipeline_configs())
+    def test_topology_params_split_the_deploy_key(self, config):
+        other = config.replace(
+            topology_params={**config.topology_params, "side": 2.0}
+        )
+        assert deploy_key(other) != deploy_key(config)
+
+    @settings(max_examples=25, deadline=None)
+    @given(pipeline_configs(), st.integers(1, 5))
+    def test_scenario_signature_splits_all_stages_per_epoch(self, config, epoch):
+        """Epoch-aware keys: a scenario signature forks every stage key
+        away from the static pipeline's, and distinct epochs never
+        share entries."""
+        sig = {"scenario": "churn", "scenario_seed": 0, "params": {}, "epoch": epoch}
+        static, scoped = stage_keys(config), stage_keys(config, scenario=sig)
+        assert all(static[stage] != scoped[stage] for stage in static)
+        later = stage_keys(
+            config, scenario={**sig, "epoch": epoch + 1}
+        )
+        assert all(later[stage] != scoped[stage] for stage in scoped)
+        assert stage_keys(config, scenario=None) == static
 
 
 # ---------------------------------------------------------------------------
