@@ -1,0 +1,189 @@
+"""INCREMENTAL — delta scheduling vs from-scratch rebuild under churn.
+
+The PR-6 claim: on a churn timeline that touches ~3 nodes per epoch,
+the incremental delta scheduler re-examines O(affected) links instead
+of rebuilding O(n), measured in the common currency of kernel-cache
+entries served (every feasibility probe of either path routes through
+the PR-1 :class:`~repro.sinr.kernels.KernelCache`).  Each epoch is
+scheduled twice on cold kernel clones of the identical link set —
+once warm-incremental, once from-scratch ``certified`` — and the bench
+asserts
+
+* every incremental epoch schedule is SINR-feasible slot-by-slot,
+* ``links_reexamined`` stays below the epoch link count,
+* the from-scratch path serves >= 5x more kernel entries per timeline
+  (the acceptance bar; smoke runs assert > 1x on the tiny instance),
+
+and writes ``BENCH_incremental_repair.json`` (per-epoch repair cost,
+kernel entries and wall time for both paths, per ``n``) that CI tracks
+across commits.  Set ``BENCH_SMOKE=1`` for the small CI instance.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.config import PipelineConfig
+from repro.api.pipeline import Pipeline
+from repro.links.linkset import LinkSet
+from repro.scenarios.repair import edge_ids, repair_tree
+from repro.scenarios.transforms import scenarios
+from repro.scheduling.incremental import (
+    IncrementalScheduler,
+    ScheduleState,
+    link_ids_for_links,
+)
+from repro.sinr.feasibility import is_feasible_with_power
+from repro.store import stages
+from repro.store.store import StageStore
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+NS = (200,) if SMOKE else (1000, 5000)
+EPOCHS = 3 if SMOKE else 5
+#: Acceptance bar on full runs; the smoke instance only checks that the
+#: incremental path is strictly cheaper.
+MIN_RATIO = 1.0 if SMOKE else 5.0
+
+OUT = Path(os.environ.get("BENCH_OUT_DIR", ".")) / "BENCH_incremental_repair.json"
+
+
+def _cold_clone(links: LinkSet) -> LinkSet:
+    """The same geometry with a fresh (cold) kernel cache."""
+    return LinkSet(
+        links.senders,
+        links.receivers,
+        sender_ids=links.sender_ids,
+        receiver_ids=links.receiver_ids,
+    )
+
+
+def _violations(schedule, links, model) -> int:
+    count = 0
+    for slot in schedule.slots:
+        vec = schedule._full_power_vector(slot)
+        if not is_feasible_with_power(links, vec, model, slot.link_indices):
+            count += 1
+    return count
+
+
+def run_timeline(n: int) -> dict:
+    """One churn timeline at size ``n``, both paths per epoch."""
+    config = PipelineConfig(
+        topology="square", n=n, seed=7, power="oblivious",
+        scheduler="certified",
+    )
+    pipeline = Pipeline(config, store=StageStore())
+    base = pipeline.run()
+    model = pipeline.model
+    timeline = scenarios.get("churn").make(
+        config, base.points, model,
+        epochs=EPOCHS, rng=config.seed, p_leave=3.0 / n,
+    )
+
+    inc = IncrementalScheduler(model, "oblivious")
+    state = ScheduleState.from_schedule(
+        base.schedule,
+        link_ids_for_links(base.schedule.links, np.arange(len(base.points))),
+        model,
+    )
+    prev_edges = edge_ids(base.tree.edges, np.arange(len(base.points)))
+
+    epochs = []
+    for inst in timeline:
+        tree = repair_tree(inst.points, inst.node_ids, prev_edges, inst.sink)
+        links = tree.links()
+        ids = link_ids_for_links(links, inst.node_ids)
+
+        inc_links = _cold_clone(links)
+        t0 = time.perf_counter()
+        schedule, report = inc.schedule(
+            inc_links, link_ids=ids, prev_state=state
+        )
+        inc_wall = time.perf_counter() - t0
+        inc_entries = inc_links.kernel().stats.entries_served
+        state = ScheduleState.from_schedule(schedule, ids, inst.model)
+
+        scr_links = _cold_clone(links)
+        t0 = time.perf_counter()
+        scr_schedule, _ = stages.build_schedule_direct(
+            config, scr_links, inst.model
+        )
+        scr_wall = time.perf_counter() - t0
+        scr_entries = scr_links.kernel().stats.entries_served
+
+        epochs.append({
+            "epoch": inst.index,
+            "links": len(links),
+            "incremental": {
+                "slots": schedule.num_slots,
+                "violations": _violations(schedule, inc_links, inst.model),
+                "kernel_entries": inc_entries,
+                "wall_time_s": round(inc_wall, 5),
+                "repair_cost": report.repair_cost,
+            },
+            "scratch": {
+                "slots": scr_schedule.num_slots,
+                "kernel_entries": scr_entries,
+                "wall_time_s": round(scr_wall, 5),
+            },
+        })
+        prev_edges = edge_ids(tree.edges, inst.node_ids)
+
+    inc_total = sum(e["incremental"]["kernel_entries"] for e in epochs)
+    scr_total = sum(e["scratch"]["kernel_entries"] for e in epochs)
+    return {
+        "n": n,
+        "epochs": epochs,
+        "totals": {
+            "incremental_entries": inc_total,
+            "scratch_entries": scr_total,
+            "eval_ratio": round(scr_total / max(inc_total, 1), 2),
+            "incremental_wall_s": round(
+                sum(e["incremental"]["wall_time_s"] for e in epochs), 4
+            ),
+            "scratch_wall_s": round(
+                sum(e["scratch"]["wall_time_s"] for e in epochs), 4
+            ),
+        },
+    }
+
+
+def test_incremental_repair_vs_scratch(benchmark, emit):
+    runs = benchmark.pedantic(
+        lambda: [run_timeline(n) for n in NS], rounds=1, iterations=1
+    )
+
+    for run in runs:
+        for epoch in run["epochs"]:
+            cost = epoch["incremental"]["repair_cost"]
+            assert epoch["incremental"]["violations"] == 0
+            assert not cost["cold_start"]
+            assert cost["links_reexamined"] < epoch["links"]
+        assert run["totals"]["eval_ratio"] > MIN_RATIO
+
+    record = {
+        "bench": "incremental_repair",
+        "smoke": SMOKE,
+        "scenario": {"name": "churn", "epochs": EPOCHS, "nodes_per_epoch": 3},
+        "min_ratio": MIN_RATIO,
+        "runs": runs,
+    }
+    OUT.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    lines = []
+    for run in runs:
+        t = run["totals"]
+        lines.append(
+            f"n={run['n']}: {t['eval_ratio']}x fewer kernel entries "
+            f"({t['incremental_entries']} vs {t['scratch_entries']}), "
+            f"wall {t['incremental_wall_s']}s vs {t['scratch_wall_s']}s"
+        )
+    lines.append(f"wrote {OUT}")
+    emit(
+        f"INCREMENTAL: churn timeline, ~3 nodes/epoch, {EPOCHS} epochs "
+        f"(smoke={SMOKE})",
+        lines,
+    )

@@ -39,6 +39,7 @@ from repro.scheduling.baselines import (
     trivial_tdma_schedule,
 )
 from repro.scheduling.builder import BuildReport, PowerMode, ScheduleBuilder
+from repro.scheduling.incremental import IncrementalScheduler
 from repro.scheduling.schedule import Schedule
 from repro.sinr.model import SINRModel
 from repro.spanning.knn_graph import knn_edges, reduced_mst
@@ -253,6 +254,10 @@ class SchedulerSpec:
     pipeline and ``None`` for the baselines.  ``constants`` names the
     conflict-graph/power constants (``gamma``/``delta``/``tau``) the
     scheduler accepts; the pipeline forwards only those.
+    ``carries_state`` marks delta schedulers whose build accepts
+    ``prev_state=``/``link_ids=`` kwargs (the previous epoch's
+    :class:`~repro.scheduling.incremental.ScheduleState`); the scenario
+    runner threads carried state only into those.
     """
 
     name: str
@@ -260,6 +265,7 @@ class SchedulerSpec:
     certified: bool = False
     constants: FrozenSet[str] = field(default_factory=frozenset)
     description: str = ""
+    carries_state: bool = False
 
 
 #: Link schedulers, by name (the ``--scheduler`` axis).
@@ -284,6 +290,28 @@ def _certified(
         kwargs["kernel_block_size"] = kernel_block_size
     builder = ScheduleBuilder(model, power.mode, **kwargs)
     return builder.build_with_report(links)
+
+
+def _incremental_certified(
+    links: LinkSet,
+    model: SINRModel,
+    power: PowerSchemeSpec,
+    *,
+    gamma: Optional[float] = None,
+    delta: Optional[float] = None,
+    tau: Optional[float] = None,
+    kernel_block_size: Optional[int] = None,
+    prev_state=None,
+    link_ids=None,
+) -> Tuple[Schedule, BuildReport]:
+    kwargs = power.builder_kwargs()
+    for name, value in (("gamma", gamma), ("delta", delta), ("tau", tau)):
+        if value is not None:
+            kwargs[name] = value
+    if kernel_block_size is not None:
+        kwargs["kernel_block_size"] = kernel_block_size
+    scheduler = IncrementalScheduler(model, power.mode, **kwargs)
+    return scheduler.schedule(links, link_ids=link_ids, prev_state=prev_state)
 
 
 def _greedy_sinr(
@@ -318,6 +346,17 @@ schedulers.register(
         certified=True,
         constants=frozenset({"gamma", "delta", "tau"}),
         description="the paper's pipeline: color G_f(L), repair, certify",
+    ),
+)
+schedulers.register(
+    "incremental-certified",
+    SchedulerSpec(
+        "incremental-certified",
+        _incremental_certified,
+        certified=True,
+        constants=frozenset({"gamma", "delta", "tau"}),
+        description="delta scheduler: carry slots across epochs, repair the delta",
+        carries_state=True,
     ),
 )
 schedulers.register(

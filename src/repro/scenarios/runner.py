@@ -40,7 +40,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.api.components import trees
+from repro.api.components import schedulers, trees
 from repro.api.config import PipelineConfig
 from repro.api.pipeline import Pipeline, RunArtifact
 from repro.errors import ConfigurationError
@@ -48,6 +48,7 @@ from repro.geometry.point import PointSet
 from repro.scenarios.repair import edge_ids, map_edges_by_id, repair_tree
 from repro.scenarios.timeline import EpochInstance
 from repro.scenarios.transforms import ScenarioSpec, scenarios
+from repro.scheduling.incremental import ScheduleState, link_ids_for_links
 from repro.sinr.feasibility import is_feasible_with_power
 from repro.sinr.model import SINRModel
 from repro.spanning.tree import AggregationTree
@@ -91,6 +92,10 @@ class EpochResult:
     mean_latency: Optional[float] = None
     max_backlog: Optional[int] = None
     stable: Optional[bool] = None
+    #: RepairCost counters of a delta scheduler's build (None for
+    #: from-scratch schedulers).  Pure function of the epoch delta, so
+    #: it is safe inside byte-identical JSON surfaces, unlike ``store``.
+    schedule_repair: Optional[Dict[str, Any]] = None
     store: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def to_json_dict(self, *, with_store: bool = True) -> Dict[str, Any]:
@@ -244,6 +249,9 @@ class ScenarioRunner:
             get_default_store() if store is _DEFAULT_STORE else store
         )
         self.pipeline = Pipeline(config, model=model, store=self.store)
+        #: Whether the configured scheduler is a delta scheduler that
+        #: accepts carried state (e.g. ``incremental-certified``).
+        self._carries_state = schedulers.get(config.scheduler).carries_state
 
     # ------------------------------------------------------------------
     def _signature(self, epoch: int) -> Dict[str, Any]:
@@ -329,10 +337,22 @@ class ScenarioRunner:
         )
 
     def _resolve_schedule(
-        self, inst: EpochInstance, links, sig: Optional[Dict]
+        self,
+        inst: EpochInstance,
+        links,
+        sig: Optional[Dict],
+        carried: Optional[ScheduleState] = None,
+        link_ids: Optional[List] = None,
     ) -> Tuple[Any, Any]:
         store = self.store
-        build = lambda: stages.build_schedule_direct(self.config, links, inst.model)
+        extra = (
+            {"prev_state": carried, "link_ids": link_ids}
+            if carried is not None
+            else None
+        )
+        build = lambda: stages.build_schedule_direct(
+            self.config, links, inst.model, extra
+        )
         if store is None:
             return build()
         if sig is None:
@@ -343,9 +363,16 @@ class ScenarioRunner:
             store.get_or_build(
                 "links", keys.links_key(self.config, scenario=sig), lambda: links
             )
+        # A delta scheduler's output depends on the carried history, so
+        # its signature digest must split the key: a resumed run replays
+        # the identical chain (same carried state -> same key -> disk
+        # hit) instead of silently falling back to a from-scratch build.
+        carried_sig = carried.signature() if carried is not None else None
         return store.get_or_build(
             "schedule",
-            keys.schedule_key(self.config, inst.model, scenario=sig),
+            keys.schedule_key(
+                self.config, inst.model, scenario=sig, carried=carried_sig
+            ),
             build,
             encode=stages._encode_schedule,
             decode=lambda payload: stages._decode_schedule(
@@ -433,6 +460,20 @@ class ScenarioRunner:
             ),
             sig=None,
         )
+        # Delta schedulers carry the previous epoch's slot assignment.
+        # The chain is seeded from the (cold-start) baseline schedule
+        # and re-captured from every *resolved* epoch schedule — store
+        # hit or fresh build alike — so resuming a timeline from a disk
+        # tier continues the identical carried chain.
+        carried: Optional[ScheduleState] = None
+        if self._carries_state:
+            carried = ScheduleState.from_schedule(
+                baseline.schedule,
+                link_ids_for_links(
+                    baseline.schedule.links, np.arange(len(baseline.points))
+                ),
+                self.pipeline.model,
+            )
         # Computed at most once: epochs identical to the baseline
         # (static anchor, no-op churn) share this count instead of
         # re-checking every slot per epoch.
@@ -448,7 +489,18 @@ class ScenarioRunner:
             points = self._resolve_deploy(inst, prev, sig)
             tree = self._resolve_tree(inst, prev, points, sig)
             links = tree.links()
-            schedule, _report = self._resolve_schedule(inst, links, sig)
+            link_ids = (
+                link_ids_for_links(links, inst.node_ids)
+                if carried is not None
+                else None
+            )
+            schedule, _report = self._resolve_schedule(
+                inst, links, sig, carried=carried, link_ids=link_ids
+            )
+            if carried is not None:
+                carried = ScheduleState.from_schedule(
+                    schedule, link_ids, inst.model
+                )
             edge_set = edge_ids(tree.edges, inst.node_ids)
             repair_cost = (
                 len(edge_set - prev.edge_id_set) if sig is not None else 0
@@ -474,6 +526,7 @@ class ScenarioRunner:
                 repair_cost=repair_cost,
                 slots_vs_baseline=schedule.num_slots / baseline.num_slots,
                 feasibility_violations=violations,
+                schedule_repair=getattr(_report, "repair_cost", None),
             )
             if base_instance and not base_model:
                 # The epoch shares the baseline's links (base stage

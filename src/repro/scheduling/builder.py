@@ -62,6 +62,10 @@ class BuildReport:
     graph; ``final_slots`` the certified schedule length after repair;
     ``split_classes`` how many color classes the repair pass had to
     split (0 when the conflict-graph constants were already sufficient).
+    ``repair_cost`` is populated only by the incremental delta scheduler
+    (:mod:`repro.scheduling.incremental`): the
+    :class:`~repro.scheduling.incremental.RepairCost` counters as a
+    plain dict.
     """
 
     mode: PowerMode
@@ -71,6 +75,7 @@ class BuildReport:
     final_slots: int
     split_classes: int
     slot_sizes: List[int] = field(default_factory=list)
+    repair_cost: Optional[Dict[str, object]] = None
 
     @property
     def rate(self) -> float:

@@ -1,0 +1,475 @@
+"""Incremental delta scheduling across scenario epochs.
+
+A scenario timeline (:mod:`repro.scenarios`) re-resolves every epoch
+from scratch, so a churn epoch that moves 3 of 10k nodes rebuilds the
+whole schedule.  The :class:`IncrementalScheduler` instead carries the
+previous epoch's slot assignment forward as a :class:`ScheduleState`
+(keyed by *persistent* link identity), computes the epoch delta —
+departed / arrived / moved links — and repairs only what the delta
+actually touched:
+
+* **Eviction oracle** — a carried slot is *dirty* only if the SINR
+  model changed or one of its members moved (geometry or power).  For a
+  fixed power vector, removing links from a feasible slot only lowers
+  the remaining members' interference sums, so a slot that merely lost
+  members is still feasible and is never re-examined.  Dirty slots get
+  one incremental row-sum check (the PR-1 kernel-cache repair path of
+  :mod:`repro.scheduling.repair`): members whose relative denominator
+  ``D_i = sum_j R[j,i] + N l_i^alpha / P_i`` exceeds ``1/beta`` are
+  evicted, the rest keep their slot.
+* **Re-matching insertion** — evicted plus newly arrived links are
+  re-inserted longest-first, first-fit into the surviving slots (lazily
+  materialising a slot's denominator vector only when it is first
+  probed), opening a new slot only when no existing slot accepts — the
+  greedy matching pass of the bipartite links x slots assignment.
+* **Repair cost** — :class:`RepairCost` counters (links re-examined,
+  per-link feasibility evaluations, slots opened) make the O(affected)
+  vs O(n) distinction measurable per epoch.
+
+Only fixed-power modes are supported: the row-sum oracle *is* the
+fixed-power feasibility condition, whereas GLOBAL power re-derives a
+bespoke power vector per slot (a spectral-radius question that has no
+incremental row form).  Cold starts (no carried state) delegate to the
+certified :class:`~repro.scheduling.builder.ScheduleBuilder`, so epoch
+0 of an incremental timeline is bit-identical to the from-scratch path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.links.linkset import LinkSet
+from repro.scheduling.builder import BuildReport, PowerMode, ScheduleBuilder
+from repro.scheduling.repair import _sinr_ok
+from repro.scheduling.schedule import Schedule, Slot
+from repro.sinr.model import SINRModel
+from repro.util.ordering import argsort_by_length_nonincreasing
+
+__all__ = [
+    "CarriedLink",
+    "EpochDelta",
+    "IncrementalScheduler",
+    "RepairCost",
+    "ScheduleState",
+    "link_ids_for_links",
+    "link_ids_for_tree",
+]
+
+#: Persistent identity of a link across epochs: the (sender node id,
+#: receiver node id) pair in the scenario's stable id space.
+LinkId = Tuple[int, int]
+
+
+def link_ids_for_links(links: LinkSet, node_ids) -> List[LinkId]:
+    """Persistent link ids of a tree-derived link set under ``node_ids``.
+
+    Tree link sets carry ``sender_ids`` / ``receiver_ids`` indexing the
+    epoch's *positional* point set; mapping through the epoch's
+    persistent ``node_ids`` yields identities that survive churn
+    renumbering.
+    """
+    ids = np.asarray(node_ids, dtype=int)
+    return [
+        (int(ids[s]), int(ids[r]))
+        for s, r in zip(links.sender_ids, links.receiver_ids)
+    ]
+
+
+def link_ids_for_tree(tree, node_ids) -> List[LinkId]:
+    """Persistent link ids of ``tree.links()`` under ``node_ids``."""
+    return link_ids_for_links(tree.links(), node_ids)
+
+
+@dataclass(frozen=True)
+class CarriedLink:
+    """One link's carried assignment: where it sat and what it looked
+    like when it was scheduled."""
+
+    slot: int
+    pos: int
+    power: float
+    sender: Tuple[float, ...]
+    receiver: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class ScheduleState:
+    """The carried state of one scheduled epoch.
+
+    ``assignment`` maps persistent :data:`LinkId` to the link's slot
+    index, its position within the slot, the exact power it transmitted
+    with and its endpoint coordinates — everything the next epoch needs
+    to decide whether the link moved and to reproduce slot/member order
+    bit-for-bit when nothing changed.  ``model_sig`` pins the SINR
+    parameters the state was certified under.
+    """
+
+    assignment: Mapping[LinkId, CarriedLink]
+    num_slots: int
+    model_sig: Tuple[float, float, float, float]
+
+    @classmethod
+    def from_schedule(
+        cls,
+        schedule: Schedule,
+        link_ids: Sequence[LinkId],
+        model: SINRModel,
+    ) -> "ScheduleState":
+        """Capture ``schedule``'s assignment under persistent ids."""
+        links = schedule.links
+        if len(link_ids) != len(links):
+            raise ConfigurationError(
+                f"need one link id per link: got {len(link_ids)} ids "
+                f"for {len(links)} links"
+            )
+        ids = [(int(a), int(b)) for a, b in link_ids]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("link ids must be unique")
+        assignment: Dict[LinkId, CarriedLink] = {}
+        for k, slot in enumerate(schedule.slots):
+            for pos, (i, power) in enumerate(zip(slot.link_indices, slot.powers)):
+                assignment[ids[i]] = CarriedLink(
+                    slot=k,
+                    pos=pos,
+                    power=float(power),
+                    sender=tuple(float(c) for c in links.senders[i]),
+                    receiver=tuple(float(c) for c in links.receivers[i]),
+                )
+        return cls(
+            assignment=assignment,
+            num_slots=schedule.num_slots,
+            model_sig=(model.alpha, model.beta, model.noise, model.epsilon),
+        )
+
+    def signature(self) -> str:
+        """Content digest of the carried state (canonical JSON, SHA-1).
+
+        Folded into the schedule stage key by
+        :func:`repro.store.keys.schedule_key` so an epoch scheduled
+        incrementally never collides with the same epoch scheduled from
+        scratch — and two different carried histories never collide
+        with each other.
+        """
+        payload = {
+            "model": list(self.model_sig),
+            "num_slots": self.num_slots,
+            "links": {
+                f"{a}:{b}": [
+                    c.slot,
+                    c.pos,
+                    repr(c.power),
+                    [repr(x) for x in c.sender],
+                    [repr(x) for x in c.receiver],
+                ]
+                for (a, b), c in self.assignment.items()
+            },
+        }
+        blob = json.dumps(payload, sort_keys=True)
+        return hashlib.sha1(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class RepairCost:
+    """What one incremental build actually paid.
+
+    ``links_reexamined`` counts distinct links whose interference row
+    the pass evaluated (dirty-slot members, members of slots
+    materialised for insertion probes, and the inserted links
+    themselves); ``feasibility_evals`` counts per-link row evaluations
+    (one link checked against one slot = ``|slot|`` member rows + its
+    own).  ``cold_start`` marks a from-scratch delegation, where the
+    counters describe the full build instead of a delta.
+    """
+
+    links_total: int = 0
+    links_carried: int = 0
+    links_evicted: int = 0
+    links_inserted: int = 0
+    links_reexamined: int = 0
+    feasibility_evals: int = 0
+    slots_carried: int = 0
+    slots_opened: int = 0
+    cold_start: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "links_total": self.links_total,
+            "links_carried": self.links_carried,
+            "links_evicted": self.links_evicted,
+            "links_inserted": self.links_inserted,
+            "links_reexamined": self.links_reexamined,
+            "feasibility_evals": self.feasibility_evals,
+            "slots_carried": self.slots_carried,
+            "slots_opened": self.slots_opened,
+            "cold_start": self.cold_start,
+        }
+
+
+@dataclass
+class EpochDelta:
+    """The delta one warm build acted on (diagnostic, used by tests)."""
+
+    departed: List[LinkId] = field(default_factory=list)
+    arrived: List[LinkId] = field(default_factory=list)
+    moved: List[LinkId] = field(default_factory=list)
+    evicted: List[LinkId] = field(default_factory=list)
+    #: old slot index -> new slot index for surviving carried slots.
+    slot_map: Dict[int, int] = field(default_factory=dict)
+
+
+class IncrementalScheduler:
+    """Delta scheduler carrying slot assignments across epochs.
+
+    Constructed like the certified
+    :class:`~repro.scheduling.builder.ScheduleBuilder` (same constants,
+    same fixed-power semantics) but with
+    :meth:`schedule` accepting the previous epoch's
+    :class:`ScheduleState`.  GLOBAL power mode is rejected: the
+    incremental eviction oracle is the fixed-power row-sum condition.
+    """
+
+    def __init__(
+        self,
+        model: SINRModel,
+        mode: PowerMode | str = PowerMode.OBLIVIOUS,
+        **builder_kwargs: Any,
+    ) -> None:
+        mode = PowerMode(mode)
+        if mode is PowerMode.GLOBAL:
+            raise ConfigurationError(
+                "incremental scheduling needs a fixed power vector; "
+                "GLOBAL (per-slot power control) has no incremental "
+                "row-sum feasibility form — use oblivious/uniform/"
+                "linear/mean"
+            )
+        self.model = model
+        self.mode = mode
+        self._builder = ScheduleBuilder(model, mode, **builder_kwargs)
+        #: Delta of the most recent warm build (None after cold starts).
+        self.last_delta: Optional[EpochDelta] = None
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        links: LinkSet,
+        *,
+        link_ids: Optional[Sequence[LinkId]] = None,
+        prev_state: Optional[ScheduleState] = None,
+    ) -> Tuple[Schedule, BuildReport]:
+        """Schedule ``links``, reusing ``prev_state`` where possible.
+
+        Without carried state (or without ids to match it against) this
+        is exactly the certified from-scratch build.  With both, only
+        the delta is re-examined; the returned report's ``repair_cost``
+        carries the :class:`RepairCost` counters either way.
+        """
+        if prev_state is None or link_ids is None:
+            return self._cold_start(links)
+        return self._warm_build(links, link_ids, prev_state)
+
+    # ------------------------------------------------------------------
+    def _cold_start(self, links: LinkSet) -> Tuple[Schedule, BuildReport]:
+        self.last_delta = None
+        schedule, report = self._builder.build_with_report(links)
+        cost = RepairCost(
+            links_total=len(links),
+            links_inserted=len(links),
+            links_reexamined=len(links),
+            slots_opened=report.final_slots,
+            cold_start=True,
+        )
+        report.repair_cost = cost.as_dict()
+        return schedule, report
+
+    def _warm_build(
+        self,
+        links: LinkSet,
+        link_ids: Sequence[LinkId],
+        prev_state: ScheduleState,
+    ) -> Tuple[Schedule, BuildReport]:
+        n = len(links)
+        if len(link_ids) != n:
+            raise ConfigurationError(
+                f"need one link id per link: got {len(link_ids)} ids "
+                f"for {n} links"
+            )
+        ids: List[LinkId] = [(int(a), int(b)) for a, b in link_ids]
+        if len(set(ids)) != n:
+            raise ConfigurationError("link ids must be unique")
+
+        model = self.model
+        alpha = model.alpha
+        threshold = model.beta
+        scheme = self._builder._power_scheme(links)
+        vec = np.asarray(scheme.powers(links), dtype=float)
+        if self._builder.kernel_block_size is not None:
+            links.kernel(block_size=self._builder.kernel_block_size)
+        kernel = links.kernel()
+        # One content digest for the whole pass (as in repair.py): the
+        # probes below are O(|slot|) and must not each hash the vector.
+        key = kernel.relative_key(vec, alpha)
+
+        def rel_noise(link: int) -> float:
+            if model.noise == 0.0:
+                return 0.0
+            with np.errstate(over="ignore"):
+                return float(
+                    model.noise * links.lengths[link] ** alpha / vec[link]
+                )
+
+        cost = RepairCost(links_total=n)
+        delta = EpochDelta()
+        assignment = prev_state.assignment
+        model_changed = prev_state.model_sig != (
+            model.alpha, model.beta, model.noise, model.epsilon,
+        )
+
+        # ---- delta: departed / arrived / moved ------------------------
+        current = set(ids)
+        delta.departed = sorted(lid for lid in assignment if lid not in current)
+        carried: List[int] = []
+        new_idx: List[int] = []
+        changed = np.zeros(n, dtype=bool)
+        for i, lid in enumerate(ids):
+            prev_link = assignment.get(lid)
+            if prev_link is None:
+                new_idx.append(i)
+                continue
+            carried.append(i)
+            same = (
+                tuple(float(c) for c in links.senders[i]) == prev_link.sender
+                and tuple(float(c) for c in links.receivers[i])
+                == prev_link.receiver
+                and float(vec[i]) == prev_link.power
+            )
+            changed[i] = not same
+        delta.arrived = [ids[i] for i in new_idx]
+        delta.moved = [ids[i] for i in carried if changed[i]]
+        cost.links_carried = len(carried)
+
+        # ---- eviction: re-examine dirty slots only --------------------
+        groups: Dict[int, List[int]] = {}
+        for i in carried:
+            groups.setdefault(assignment[ids[i]].slot, []).append(i)
+        for members in groups.values():
+            members.sort(key=lambda i: assignment[ids[i]].pos)
+
+        reexamined: set = set()
+        slot_members: List[List[int]] = []
+        # Aligned with slot_members; None = denominators not yet
+        # materialised (clean slot never probed).
+        slot_denoms: List[Optional[np.ndarray]] = []
+        evicted: List[int] = []
+
+        def materialise(
+            members: List[int],
+        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+            """A slot's ``(denominators, submatrix, noise)``, one kernel
+            call for the whole member block."""
+            sub = kernel.relative_submatrix(vec, alpha, members, members, key=key)
+            noise = np.array([rel_noise(i) for i in members])
+            cost.feasibility_evals += len(members)
+            reexamined.update(members)
+            return sub.sum(axis=0) + noise, sub, noise
+
+        for old_slot in sorted(groups):
+            members = groups[old_slot]
+            dirty = model_changed or any(changed[i] for i in members)
+            if not dirty:
+                # Subset monotonicity: the slot lost members at most,
+                # every survivor's denominator only went down.
+                delta.slot_map[old_slot] = len(slot_members)
+                slot_members.append(list(members))
+                slot_denoms.append(None)
+                continue
+            denoms, sub, noise = materialise(members)
+            with np.errstate(divide="ignore"):
+                sinr = np.where(denoms > 0, 1.0 / denoms, np.inf)
+            ok = sinr >= threshold
+            keep = [m for m, good in zip(members, ok) if good]
+            evicted.extend(m for m, good in zip(members, ok) if not good)
+            if not keep:
+                continue
+            keep_pos = [p for p, good in enumerate(ok) if good]
+            delta.slot_map[old_slot] = len(slot_members)
+            slot_members.append(keep)
+            slot_denoms.append(
+                sub[np.ix_(keep_pos, keep_pos)].sum(axis=0) + noise[keep_pos]
+            )
+        cost.links_evicted = len(evicted)
+        cost.slots_carried = len(slot_members)
+        delta.evicted = sorted(ids[i] for i in evicted)
+
+        # ---- insertion: longest-first, first-fit re-matching ----------
+        to_insert = evicted + new_idx
+        cost.links_inserted = len(to_insert)
+        if to_insert:
+            order = [
+                to_insert[k]
+                for k in argsort_by_length_nonincreasing(
+                    links.lengths[to_insert]
+                )
+            ]
+            for i in order:
+                own_noise = rel_noise(i)
+                placed = False
+                for k, members in enumerate(slot_members):
+                    if slot_denoms[k] is None:
+                        slot_denoms[k] = materialise(members)[0]
+                    onto = kernel.relative_submatrix(
+                        vec, alpha, [i], members, key=key
+                    )[0]
+                    frm = kernel.relative_submatrix(
+                        vec, alpha, members, [i], key=key
+                    )[:, 0]
+                    member_denoms = slot_denoms[k] + onto
+                    link_denom = float(frm.sum()) + own_noise
+                    cost.feasibility_evals += len(members) + 1
+                    if _sinr_ok(member_denoms, threshold) and _sinr_ok(
+                        np.array([link_denom]), threshold
+                    ):
+                        members.append(i)
+                        slot_denoms[k] = np.append(member_denoms, link_denom)
+                        placed = True
+                        break
+                if not placed:
+                    slot_members.append([i])
+                    slot_denoms.append(np.array([own_noise]))
+                    cost.slots_opened += 1
+                    cost.feasibility_evals += 1
+                reexamined.add(i)
+        cost.links_reexamined = len(reexamined)
+
+        slots = [
+            Slot.from_arrays(members, vec[np.asarray(members, dtype=int)])
+            for members in slot_members
+        ]
+        # The differential/property suites and the scenario runner's
+        # slot-by-slot violation check certify feasibility externally;
+        # re-validating here would pay the O(n^2) the delta pass avoids.
+        schedule = Schedule(links, slots, model, validate=False)
+        report = BuildReport(
+            mode=self.mode,
+            conflict_graph="incremental-delta",
+            diversity=links.diversity,
+            initial_colors=cost.slots_carried,
+            final_slots=len(slots),
+            split_classes=0,
+            slot_sizes=[len(s) for s in slot_members],
+            repair_cost=cost.as_dict(),
+        )
+        self.last_delta = delta
+        return schedule, report
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalScheduler(mode={self.mode.value}, "
+            f"gamma={self._builder.gamma}, delta={self._builder.delta}, "
+            f"tau={self._builder.tau})"
+        )

@@ -95,6 +95,7 @@ def _schedule_signature(
     config: "PipelineConfig",
     model: Optional["SINRModel"] = None,
     scenario: Optional[Dict[str, Any]] = None,
+    carried: Optional[str] = None,
 ) -> Dict[str, Any]:
     sig: Dict[str, Any] = {
         "tree": _tree_signature(config, scenario),
@@ -103,6 +104,11 @@ def _schedule_signature(
         "power_tau": power_schemes.get(config.power).tau,
         "scheduler_params": dict(config.scheduler_params),
     }
+    if carried is not None:
+        # Carried-state digest of a delta scheduler: the same epoch
+        # scheduled incrementally must not collide with the same epoch
+        # scheduled from scratch (nor with a different carried history).
+        sig["carried"] = carried
     # Only the constants the scheduler declares reach its builder, so
     # only those may split the key (a gamma override on tdma is inert).
     for name in sorted(schedulers.get(config.scheduler).constants):
@@ -150,6 +156,7 @@ def schedule_key(
     config: "PipelineConfig",
     model: Optional["SINRModel"] = None,
     scenario: Optional[Dict[str, Any]] = None,
+    carried: Optional[str] = None,
 ) -> str:
     """Cache key of the schedule stage.
 
@@ -158,20 +165,25 @@ def schedule_key(
     any; a model carrying noise or margin parameters the config does not
     encode gets its own key.  Scenario epochs pass their perturbed model
     here (fading), their epoch signature as ``scenario`` (churn,
-    mobility), or both.
+    mobility), or both.  ``carried`` is the
+    :meth:`~repro.scheduling.incremental.ScheduleState.signature`
+    digest of the previous epoch's carried state when a delta scheduler
+    is running; it splits the key from the from-scratch build of the
+    same epoch.
     """
-    return _digest(_schedule_signature(config, model, scenario))
+    return _digest(_schedule_signature(config, model, scenario, carried))
 
 
 def stage_keys(
     config: "PipelineConfig",
     model: Optional["SINRModel"] = None,
     scenario: Optional[Dict[str, Any]] = None,
+    carried: Optional[str] = None,
 ) -> Dict[str, str]:
     """All four stage keys of one config, by stage name."""
     return {
         "deploy": deploy_key(config, scenario),
         "tree": tree_key(config, scenario),
         "links": links_key(config, scenario),
-        "schedule": schedule_key(config, model, scenario),
+        "schedule": schedule_key(config, model, scenario, carried),
     }

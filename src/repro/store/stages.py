@@ -144,14 +144,19 @@ def canonical_links(
 # schedule
 # ----------------------------------------------------------------------
 def build_schedule_direct(
-    config: "PipelineConfig", links: "LinkSet", model: SINRModel
+    config: "PipelineConfig",
+    links: "LinkSet",
+    model: SINRModel,
+    extra: Optional[Dict[str, Any]] = None,
 ) -> Tuple[Schedule, Optional["_BuildReport"]]:
     """One uncached scheduler invocation with the config's constants.
 
     This is the single site that assembles scheduler kwargs (explicit
     ``scheduler_params`` plus whichever of ``gamma``/``delta``/``tau``
     the scheduler declares); both the cached path below and
-    :meth:`Pipeline.build_schedule` delegate here.
+    :meth:`Pipeline.build_schedule` delegate here.  ``extra`` carries
+    per-call kwargs that are not config state — the scenario runner
+    threads a delta scheduler's ``prev_state``/``link_ids`` through it.
     """
     scheduler = schedulers.get(config.scheduler)
     power = power_schemes.get(config.power)
@@ -160,6 +165,8 @@ def build_schedule_direct(
         value = getattr(config, name)
         if value is not None:
             params.setdefault(name, value)
+    if extra:
+        params.update(extra)
     return scheduler.build(links, model, power, **params)
 
 
@@ -183,6 +190,8 @@ def _encode_schedule(
             "split_classes": report.split_classes,
             "slot_sizes": list(report.slot_sizes),
         }
+        if report.repair_cost is not None:
+            payload["report"]["repair_cost"] = dict(report.repair_cost)
     return payload
 
 

@@ -86,7 +86,13 @@ class TestBuiltinRegistries:
         assert topologies.names() == ("square", "disk", "grid", "clusters", "exponential")
         assert trees.names() == ("mst", "matching", "knn-mst")
         assert power_schemes.names() == ("global", "oblivious", "uniform", "linear", "mean")
-        assert schedulers.names() == ("certified", "greedy-sinr", "protocol-model", "tdma")
+        assert schedulers.names() == (
+            "certified",
+            "incremental-certified",
+            "greedy-sinr",
+            "protocol-model",
+            "tdma",
+        )
         assert measurements.names() == ("schedule", "g1")
 
     @pytest.mark.parametrize(

@@ -4,7 +4,7 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
@@ -331,6 +331,29 @@ class TestStoreKeyProperties:
         assert all(later[stage] != scoped[stage] for stage in scoped)
         assert stage_keys(config, scenario=None) == static
 
+    @settings(max_examples=50, deadline=None)
+    @given(
+        pipeline_configs(),
+        st.text("0123456789abcdef", min_size=6, max_size=40),
+        st.text("0123456789abcdef", min_size=6, max_size=40),
+    )
+    def test_carried_state_splits_only_the_schedule_key(
+        self, config, sig_a, sig_b
+    ):
+        """Incremental-vs-scratch store keys split: a carried-state
+        digest forks the schedule key away from the from-scratch build
+        (and distinct carried histories fork from each other) while the
+        upstream stages keep sharing their entries."""
+        scratch, carried = stage_keys(config), stage_keys(config, carried=sig_a)
+        assert carried["schedule"] != scratch["schedule"]
+        for stage in ("deploy", "tree", "links"):
+            assert carried[stage] == scratch[stage]
+        assert (
+            schedule_key(config, carried=sig_a)
+            == schedule_key(config, carried=sig_b)
+        ) == (sig_a == sig_b)
+        assert schedule_key(config, carried=None) == scratch["schedule"]
+
 
 # ---------------------------------------------------------------------------
 # End-to-end
@@ -358,3 +381,123 @@ class TestPipelineProperties:
         result = AggregationSimulator(tree, schedule).run(3, rng=0)
         assert result.stable
         assert result.values_correct
+
+
+# ---------------------------------------------------------------------------
+# Incremental delta scheduling
+# ---------------------------------------------------------------------------
+def _epoch_delta(links, data):
+    """Draw a small epoch delta over ``links``: drop up to 2 links,
+    nudge up to one surviving receiver, add up to 2 fresh far-away
+    links.  Returns ``(base_ids, new_links, new_ids)`` under synthetic
+    persistent ids."""
+    from repro.errors import LinkError
+
+    n = len(links)
+    base_ids = [(i, 10_000 + i) for i in range(n)]
+    drop = data.draw(
+        st.sets(st.integers(0, n - 1), max_size=min(2, n - 1)), label="drop"
+    )
+    keep = [i for i in range(n) if i not in drop]
+    senders = np.array(links.senders[keep])
+    receivers = np.array(links.receivers[keep])
+    moved = data.draw(
+        st.one_of(st.none(), st.integers(0, len(keep) - 1)), label="moved"
+    )
+    if moved is not None:
+        receivers[moved] = receivers[moved] + np.array([0.013, 0.017])
+    new_ids = [base_ids[i] for i in keep]
+    for j in range(data.draw(st.integers(0, 2), label="arrivals")):
+        senders = np.vstack([senders, [500.0 + 3.0 * j, 500.0]])
+        receivers = np.vstack([receivers, [500.0 + 3.0 * j, 500.4]])
+        new_ids.append((50_000 + j, 60_000 + j))
+    try:
+        new_links = LinkSet(senders, receivers)
+    except LinkError:
+        assume(False)
+    return base_ids, new_links, new_ids
+
+
+class TestIncrementalProperties:
+    """Certification of the delta scheduler's carried-state contract
+    (:mod:`repro.scheduling.incremental`)."""
+
+    def _warm(self, links, data):
+        from repro.scheduling.incremental import (
+            IncrementalScheduler,
+            ScheduleState,
+        )
+
+        inc = IncrementalScheduler(MODEL, "oblivious")
+        cold_sched, _cold_report = inc.schedule(links)
+        base_ids, new_links, new_ids = _epoch_delta(links, data)
+        state = ScheduleState.from_schedule(cold_sched, base_ids, MODEL)
+        _sched, report = inc.schedule(
+            new_links, link_ids=new_ids, prev_state=state
+        )
+        new_state = ScheduleState.from_schedule(_sched, new_ids, MODEL)
+        return inc, state, new_state, new_links, new_ids, report
+
+    @settings(max_examples=25, deadline=None)
+    @given(link_sets(min_links=4, max_links=9), st.data())
+    def test_untouched_feasible_links_keep_their_slot(self, links, data):
+        inc, state, new_state, _links, new_ids, _report = self._warm(
+            links, data
+        )
+        delta = inc.last_delta
+        touched = set(delta.moved) | set(delta.evicted) | set(delta.arrived)
+        for lid in new_ids:
+            if lid in touched or lid not in state.assignment:
+                continue
+            old_slot = state.assignment[lid].slot
+            assert old_slot in delta.slot_map
+            assert new_state.assignment[lid].slot == delta.slot_map[old_slot]
+
+    @settings(max_examples=25, deadline=None)
+    @given(link_sets(min_links=4, max_links=9), st.data())
+    def test_evicted_set_covers_every_broken_link(self, links, data):
+        inc, state, _new_state, new_links, new_ids, _report = self._warm(
+            links, data
+        )
+        delta = inc.last_delta
+        evicted = set(delta.evicted)
+        # Recompute, independently of the scheduler, which carried
+        # links' row-sum feasibility actually broke inside their old
+        # slot under the new geometry: every one of those must have
+        # been evicted (the oracle may evict more, never less).
+        index_of = {lid: i for i, lid in enumerate(new_ids)}
+        vec = inc._builder._power_scheme(new_links).powers(new_links)
+        kernel = new_links.kernel()
+        groups = {}
+        for lid, c in state.assignment.items():
+            if lid in index_of:
+                groups.setdefault(c.slot, []).append(index_of[lid])
+        for members in groups.values():
+            sub = kernel.relative_submatrix(vec, MODEL.alpha, members, members)
+            denoms = sub.sum(axis=0)  # noiseless model: no noise term
+            for m, d in zip(members, denoms):
+                if d > 0 and 1.0 / d < MODEL.beta:
+                    assert new_ids[m] in evicted
+
+    @settings(max_examples=25, deadline=None)
+    @given(link_sets(min_links=4, max_links=9), st.data())
+    def test_repair_counters_never_exceed_full_rebuild(self, links, data):
+        from repro.scheduling.incremental import IncrementalScheduler
+
+        inc, _state, _new_state, new_links, new_ids, report = self._warm(
+            links, data
+        )
+        _s, rebuild_report = IncrementalScheduler(MODEL, "oblivious").schedule(
+            new_links
+        )
+        cost, rebuild = report.repair_cost, rebuild_report.repair_cost
+        n = len(new_links)
+        assert not cost["cold_start"] and rebuild["cold_start"]
+        assert cost["links_total"] == rebuild["links_total"] == n
+        assert rebuild["links_reexamined"] == rebuild["links_inserted"] == n
+        assert cost["links_reexamined"] <= rebuild["links_reexamined"]
+        assert cost["links_inserted"] <= rebuild["links_inserted"]
+        assert cost["slots_opened"] <= cost["links_inserted"]
+        assert cost["links_evicted"] <= cost["links_carried"]
+        arrived = len(set(new_ids) - {(i, 10_000 + i) for i in range(len(links))})
+        assert cost["links_carried"] + arrived == n
