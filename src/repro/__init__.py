@@ -28,6 +28,7 @@ from repro.aggregation import (
     run_convergecast,
 )
 from repro.api import (
+    NumericBackend,
     Pipeline,
     PipelineConfig,
     Registry,
@@ -35,6 +36,8 @@ from repro.api import (
     ScenarioResult,
     ScenarioRunner,
     SimulationResult,
+    numeric_backends,
+    register_backend,
     register_scenario,
 )
 from repro.conflict import (
@@ -130,6 +133,7 @@ __all__ = [
     "MEAN",
     "MIN",
     "MstSuboptimalFamily",
+    "NumericBackend",
     "ObliviousPower",
     "Pipeline",
     "PipelineConfig",
@@ -169,12 +173,14 @@ __all__ = [
     "mean_power",
     "median_via_counting",
     "mst_edges",
+    "numeric_backends",
     "oblivious_graph",
     "predicted_slots",
     "predicted_slots_cor1",
     "predicted_slots_global",
     "predicted_slots_oblivious",
     "protocol_model_schedule",
+    "register_backend",
     "register_scenario",
     "run_convergecast",
     "trivial_tdma_schedule",

@@ -1,6 +1,6 @@
 """repro.api — the registry-backed public composition surface.
 
-Six registries make every axis of the reproduction pluggable:
+Seven registries make every axis of the reproduction pluggable:
 
 * :data:`~repro.api.components.topologies` — deployment families,
 * :data:`~repro.api.components.trees` — aggregation-tree builders,
@@ -9,7 +9,10 @@ Six registries make every axis of the reproduction pluggable:
 * :data:`~repro.api.measurements.measurements` — sweep metric
   extractors,
 * :data:`~repro.scenarios.transforms.scenarios` — dynamic scenario
-  transforms (churn, mobility, fading, online arrivals).
+  transforms (churn, mobility, fading, online arrivals),
+* :data:`~repro.backend.numeric_backends` — numeric backends for the
+  SINR kernel core (bit-identical by contract; never a cache-key
+  ingredient).
 
 A :class:`PipelineConfig` names one component per axis (validated
 eagerly, dict round-trip for provenance); a :class:`Pipeline` resolves
@@ -55,9 +58,20 @@ from repro.scenarios import (
     scenarios,
 )
 
+# Imported last: repro.backend pulls in numpy-heavy implementations and
+# must never be on the import path of the component modules above (they
+# import it lazily, inside functions).
+from repro.backend import (
+    NumericBackend,
+    numeric_backends,
+    register_backend,
+    resolve_backend,
+)
+
 __all__ = [
     "EpochResult",
     "MeasurementContext",
+    "NumericBackend",
     "Pipeline",
     "PipelineConfig",
     "PowerSchemeSpec",
@@ -71,11 +85,14 @@ __all__ = [
     "TopologySpec",
     "TreeSpec",
     "measurements",
+    "numeric_backends",
     "power_schemes",
+    "register_backend",
     "register_measurement",
     "register_scenario",
     "register_topology",
     "register_tree",
+    "resolve_backend",
     "scenarios",
     "schedulers",
     "topologies",

@@ -54,6 +54,11 @@ class PipelineConfig:
         :attr:`~repro.api.components.SchedulerSpec.constants`).
     num_frames:
         Convergecast frames to simulate (0 = schedule only).
+    backend:
+        Numeric-backend registry name (:mod:`repro.backend`) for the
+        kernel math.  Backends are bit-identical by contract, so this
+        field changes performance characteristics only — it never
+        splits a stage cache key (:mod:`repro.store.keys`).
     topology_params, tree_params, scheduler_params:
         Extra keyword arguments for the chosen components (e.g.
         ``tree_params={"k": 4}`` for ``knn-mst``).
@@ -72,6 +77,7 @@ class PipelineConfig:
     delta: Optional[float] = None
     tau: Optional[float] = None
     num_frames: int = 0
+    backend: str = "dense-numpy"
     topology_params: Mapping[str, Any] = field(default_factory=dict)
     tree_params: Mapping[str, Any] = field(default_factory=dict)
     scheduler_params: Mapping[str, Any] = field(default_factory=dict)
@@ -91,6 +97,11 @@ class PipelineConfig:
         trees.get(self.tree)
         power_schemes.get(self.power)
         schedulers.get(self.scheduler)
+        # Imported lazily: repro.backend sits below the api package in
+        # the import graph and must not load during api.__init__.
+        from repro.backend import numeric_backends
+
+        numeric_backends.get(self.backend)
         if not isinstance(self.n, int) or self.n < 1:
             raise ConfigurationError(f"n must be a positive int, got {self.n!r}")
         if not isinstance(self.sink, int) or self.sink < 0:

@@ -274,6 +274,7 @@ class Pipeline:
                 "power": self.power.name,
                 "power_mode": self.power.mode.value,
                 "scheduler": self.scheduler.name,
+                "backend": self.config.backend,
             },
             "version": __version__,
         }

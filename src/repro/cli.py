@@ -39,6 +39,7 @@ from repro._version import __version__
 from repro.api.components import power_schemes, schedulers, topologies, trees
 from repro.api.config import PipelineConfig
 from repro.api.pipeline import Pipeline
+from repro.backend import numeric_backends
 from repro.core.capacity import compare_power_modes
 from repro.errors import ConfigurationError, JobError, ReproError
 from repro.geometry.generators import topology_uses_seed
@@ -124,6 +125,17 @@ def _add_scheduler_arg(parser: argparse.ArgumentParser) -> None:
         choices=list(schedulers.names()),
         default="certified",
         help="link scheduler (default: the paper's certified pipeline)",
+    )
+
+
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=list(numeric_backends.names()),
+        default="dense-numpy",
+        help="numeric backend for the SINR kernel core (all backends are "
+        "bit-identical; blocked-sparse never materialises dense n x n "
+        "matrices, numba-jit degrades to dense-numpy without numba)",
     )
 
 
@@ -238,8 +250,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--frames", type=int, default=0, help="frames to simulate per cell (0 = none)"
     )
+    _add_backend_arg(p_sweep)
     p_sweep.add_argument("--out", default=None, help="output JSONL path")
     p_sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p_sweep.add_argument(
+        "--transport",
+        choices=("auto", "shm", "disk"),
+        default="auto",
+        help="how pool workers receive warm stage artifacts: shared memory "
+        "when available (auto), required (shm), or disk tier only (disk); "
+        "only meaningful with --jobs > 1",
+    )
     p_sweep.add_argument(
         "--no-resume",
         action="store_true",
@@ -274,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scheduler_arg(p_scenario)
     _add_constant_args(p_scenario)
+    _add_backend_arg(p_scenario)
     p_scenario.add_argument(
         "--epochs", type=int, default=5, help="timeline length"
     )
@@ -343,6 +365,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         num_frames=args.frames,
         scenarios=tuple(args.scenario),
         epochs=args.epochs,
+        backend=args.backend,
     )
     engine = SweepEngine(
         spec,
@@ -350,6 +373,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         out_path=args.out,
         resume=not args.no_resume,
         cache_dir=args.cache_dir,
+        transport=args.transport,
     )
     report = engine.run()
     keys = ("topology", "n", "mode")
@@ -379,6 +403,9 @@ def _store_stats_line(stats: dict) -> str:
         disk_hits = counters.get("disk_hits", 0)
         if disk_hits:
             part += f"/{disk_hits} disk"
+        shm_hits = counters.get("shm_hits", 0)
+        if shm_hits:
+            part += f"/{shm_hits} shm"
         parts.append(part)
     return "stage cache: " + ", ".join(parts)
 
@@ -408,6 +435,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
         delta=args.delta,
         tau=args.tau,
         num_frames=args.frames,
+        backend=args.backend,
     )
     kwargs = {}
     if args.cache_dir:

@@ -2,7 +2,13 @@
 
 A :class:`ConflictGraph` is the graph ``G_f(L)`` over a link set: links
 are vertices, and ``i ~ j`` iff they are *f-conflicting* (Appendix A).
-Construction is fully vectorised; the adjacency matrix is boolean.
+Construction is fully vectorised and routed through the link set's
+numeric backend (:mod:`repro.backend`): dense backends fill a boolean
+adjacency matrix; sparse backends (``blocked-sparse``) assemble a CSR
+:class:`~repro.backend.sparse.SparseAdjacency` blockwise so no ``n x n``
+array is ever allocated — the path that makes 100k-link conflict graphs
+fit in memory.  All query methods (``neighbors``, ``degree``,
+``is_independent``, ...) work identically on both representations.
 """
 
 from __future__ import annotations
@@ -39,12 +45,29 @@ class ConflictGraph:
     def __init__(self, links: LinkSet, threshold: ThresholdFunction) -> None:
         self.links = links
         self.threshold = threshold
+        self._sparse = None  # SparseAdjacency when the backend is sparse
         self._adjacency = self._build()
 
-    def _build(self) -> np.ndarray:
+    def _adjacent_block(self, kernel, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Boolean conflict block for global ``rows x cols`` indices."""
+        lengths = self.links.lengths
+        gap = kernel.gap_submatrix(rows, cols)
+        lmin = np.minimum(lengths[rows][:, None], lengths[cols][None, :])
+        lmax = np.maximum(lengths[rows][:, None], lengths[cols][None, :])
+        block = gap <= lmin * self.threshold(lmax / lmin)
+        block[rows[:, None] == cols[None, :]] = False
+        return block
+
+    def _build(self):
         # Conflict iff d(i, j) <= l_min * f(l_max / l_min).
         lengths = self.links.lengths
         kernel = self.links.kernel()
+        backend = kernel.backend
+        if backend.sparse_adjacency:
+            self._sparse = backend.assemble_adjacency(
+                kernel, lambda rows, cols: self._adjacent_block(kernel, rows, cols)
+            )
+            return None
         if not kernel.chunked:
             gap = self.links.link_distances()
             lmin = np.minimum(lengths[:, None], lengths[None, :])
@@ -54,14 +77,9 @@ class ConflictGraph:
             # Large link sets: stream gap distances in row blocks via
             # the kernel cache so no n x n float64 array is allocated
             # (the boolean adjacency is 8x smaller).
-            n = len(self.links)
-            cols = np.arange(n)
-            adjacent = np.empty((n, n), dtype=bool)
-            for rows in kernel.iter_blocks(cols):
-                gap = kernel.gap_submatrix(rows, cols)
-                lmin = np.minimum(lengths[rows][:, None], lengths[None, :])
-                lmax = np.maximum(lengths[rows][:, None], lengths[None, :])
-                adjacent[rows] = gap <= lmin * self.threshold(lmax / lmin)
+            adjacent = backend.assemble_adjacency(
+                kernel, lambda rows, cols: self._adjacent_block(kernel, rows, cols)
+            )
         np.fill_diagonal(adjacent, False)
         adjacent.setflags(write=False)
         return adjacent
@@ -69,7 +87,15 @@ class ConflictGraph:
     # ------------------------------------------------------------------
     @property
     def adjacency(self) -> np.ndarray:
-        """Read-only boolean adjacency matrix."""
+        """Read-only boolean adjacency matrix.
+
+        Under a sparse backend this *materialises* the dense matrix on
+        first access (guarded by a byte budget) — scale-sensitive code
+        should prefer :meth:`neighbors` / :meth:`degree` /
+        :meth:`is_independent`, which never densify.
+        """
+        if self._sparse is not None:
+            return self._sparse.to_dense()
         return self._adjacency
 
     @property
@@ -80,24 +106,34 @@ class ConflictGraph:
     @property
     def edge_count(self) -> int:
         """Number of conflict edges."""
+        if self._sparse is not None:
+            return self._sparse.edge_count
         return int(self._adjacency.sum()) // 2
 
     def neighbors(self, i: int) -> np.ndarray:
         """Indices adjacent to vertex ``i``."""
+        if self._sparse is not None:
+            return self._sparse.neighbors(i)
         return np.flatnonzero(self._adjacency[i])
 
     def degree(self, i: int) -> int:
         """Degree of vertex ``i``."""
+        if self._sparse is not None:
+            return self._sparse.degree(i)
         return int(self._adjacency[i].sum())
 
     def max_degree(self) -> int:
         """Maximum degree."""
         if self.n == 0:
             return 0
+        if self._sparse is not None:
+            return self._sparse.max_degree()
         return int(self._adjacency.sum(axis=1).max())
 
     def are_adjacent(self, i: int, j: int) -> bool:
         """Whether links ``i`` and ``j`` conflict."""
+        if self._sparse is not None:
+            return self._sparse.are_adjacent(i, j)
         return bool(self._adjacency[i, j])
 
     def is_independent(self, subset: Sequence[int]) -> bool:
@@ -105,6 +141,8 @@ class ConflictGraph:
         idx = np.asarray(subset, dtype=int)
         if idx.size <= 1:
             return True
+        if self._sparse is not None:
+            return not self._sparse.has_internal_edge(idx)
         block = self._adjacency[np.ix_(idx, idx)]
         return not bool(block.any())
 
@@ -112,6 +150,12 @@ class ConflictGraph:
         """Export as a :mod:`networkx` graph (vertex = link index)."""
         g = nx.Graph()
         g.add_nodes_from(range(self.n))
+        if self._sparse is not None:
+            for i in range(self.n):
+                for j in self._sparse.neighbors(i):
+                    if i < j:
+                        g.add_edge(i, int(j))
+            return g
         rows, cols = np.nonzero(np.triu(self._adjacency, k=1))
         g.add_edges_from(zip(rows.tolist(), cols.tolist()))
         return g

@@ -1,0 +1,271 @@
+"""Zero-copy shared-memory transport for stage artifacts.
+
+When a :class:`~repro.jobs.service.JobService` runs a process pool, the
+coordinator's warm stage artifacts (deployments, trees, schedules) are
+published once into POSIX shared memory and every worker *attaches*
+instead of re-deserialising through the disk tier:
+
+* :class:`ShmArtifactPool` — coordinator side.  Encodes each artifact
+  with the same write-side codecs the disk tier uses
+  (:data:`repro.store.stages.STAGE_ENCODERS`) and copies the payload
+  into one ``multiprocessing.shared_memory`` segment per artifact.
+  Deployments are raw float64 coordinate arrays, so workers map them
+  **zero-copy**: the reconstructed ndarray aliases the shared segment
+  directly (link sets and kernel caches are then derived locally, but
+  the O(n) geometry bytes are never copied per worker).
+* :class:`ShmArtifactReader` — worker side.  Attaches segments lazily
+  by manifest and serves payloads to the worker's
+  :class:`~repro.store.store.StageStore` as a read tier (counted as
+  ``shm_hits``).
+
+Lifecycle is explicit and coordinator-owned: the pool creates segments,
+workers only attach, and :meth:`ShmArtifactPool.close` both closes and
+**unlinks** every segment (unlink-on-close), so no shared memory
+outlives the service even on the happy path.  Worker-side attachments
+deliberately opt out of the resource tracker (bpo-39959: tracked
+attachments are unlinked prematurely when any worker exits), matching
+the coordinator-owned lifecycle.
+
+Platforms without ``multiprocessing.shared_memory`` support (or with an
+unusable ``/dev/shm``) report :func:`shared_memory_available()` false
+and the service falls back to the existing disk-tier path.
+"""
+
+from __future__ import annotations
+
+import pickle
+import uuid
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+try:  # pragma: no cover - import always succeeds on CPython >= 3.8
+    from multiprocessing import shared_memory as _shm_module
+except ImportError:  # pragma: no cover - ancient/exotic platforms
+    _shm_module = None
+
+__all__ = ["ShmArtifactPool", "ShmArtifactReader", "shared_memory_available"]
+
+#: Cached result of the one-time availability probe.
+_AVAILABLE: Optional[bool] = None
+
+
+def shared_memory_available() -> bool:
+    """Whether shared-memory segments can actually be created here.
+
+    Probes once by creating (and immediately unlinking) a tiny segment;
+    import success alone does not guarantee a usable backing store.
+    """
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        if _shm_module is None:
+            _AVAILABLE = False
+        else:
+            try:
+                probe = _shm_module.SharedMemory(create=True, size=16)
+                probe.close()
+                probe.unlink()
+                _AVAILABLE = True
+            except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+                _AVAILABLE = False
+    return _AVAILABLE
+
+
+def _attach(name: str):
+    """Attach to an existing segment without resource-tracker tracking.
+
+    Python < 3.13 lacks ``track=False`` and registers attachments with
+    the resource tracker, which then unlinks segments when *any*
+    attaching process exits (bpo-39959) — wrong for our coordinator-owned
+    lifecycle.  Registration is suppressed during the attach instead of
+    undone afterwards: an unregister message would also cancel the
+    *creator's* registration when pool and reader share a process.
+    """
+    try:
+        return _shm_module.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13 signature
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return _shm_module.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class ShmArtifactPool:
+    """Coordinator-side pool of published stage artifacts.
+
+    Explicit lifecycle: :meth:`publish` / :meth:`publish_store` create
+    segments, :meth:`manifest` describes them (picklable, sent to
+    workers), :meth:`close` closes **and unlinks** everything.  Usable
+    as a context manager.
+    """
+
+    def __init__(self) -> None:
+        if not shared_memory_available():
+            raise ConfigurationError(
+                "multiprocessing.shared_memory is not available on this "
+                "platform; use the disk-tier transport instead"
+            )
+        self.pool_id = uuid.uuid4().hex
+        self._segments: list = []
+        self._entries: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def publish(self, stage: str, key: str, payload: Any) -> None:
+        """Copy one encoded payload into its own shared segment.
+
+        Contiguous numpy arrays are stored raw (workers remap them
+        zero-copy); any other payload is pickled into the segment.
+        """
+        if self._closed:
+            raise ConfigurationError("ShmArtifactPool is closed")
+        if (stage, key) in self._entries:
+            return
+        if isinstance(payload, np.ndarray) and payload.dtype != object:
+            arr = np.ascontiguousarray(payload)
+            raw = arr.view(np.uint8).reshape(-1) if arr.nbytes else None
+            entry: Dict[str, Any] = {
+                "kind": "ndarray",
+                "dtype": arr.dtype.str,
+                "shape": tuple(int(s) for s in arr.shape),
+                "nbytes": int(arr.nbytes),
+            }
+        else:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            raw = np.frombuffer(blob, dtype=np.uint8)
+            entry = {"kind": "pickle", "nbytes": int(len(blob))}
+        segment = _shm_module.SharedMemory(
+            create=True, size=max(1, entry["nbytes"])
+        )
+        if entry["nbytes"]:
+            view = np.ndarray(entry["nbytes"], dtype=np.uint8, buffer=segment.buf)
+            view[:] = raw
+        entry["name"] = segment.name
+        self._segments.append(segment)
+        self._entries[(stage, key)] = entry
+
+    def publish_store(
+        self, store, encoders: Optional[Dict[str, Any]] = None
+    ) -> int:
+        """Publish every memory-tier artifact of codec-bearing stages.
+
+        Uses the same write-side codecs as the disk tier, so worker-side
+        ``decode`` callbacks accept the payloads unchanged.  Returns the
+        number of artifacts published.
+        """
+        if encoders is None:
+            from repro.store.stages import STAGE_ENCODERS
+
+            encoders = STAGE_ENCODERS
+        published = 0
+        for stage, encode in encoders.items():
+            for key, value in store.entries(stage):
+                self.publish(stage, key, encode(value))
+                published += 1
+        return published
+
+    def manifest(self) -> Dict[str, Any]:
+        """Picklable description of every published segment."""
+        return {
+            "pool_id": self.pool_id,
+            "entries": dict(self._entries),
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+        self._segments = []
+        self._entries = {}
+
+    def __enter__(self) -> "ShmArtifactPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - safety net only
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{len(self._entries)} artifacts"
+        return f"ShmArtifactPool(id={self.pool_id[:8]}, {state})"
+
+
+class ShmArtifactReader:
+    """Worker-side view of a pool: attach segments lazily, never unlink.
+
+    Attached segments are cached for the reader's lifetime — ndarray
+    payloads alias shared memory, so their segments must stay mapped as
+    long as the artifacts are alive.
+    """
+
+    def __init__(self, manifest: Dict[str, Any]) -> None:
+        self.pool_id = manifest["pool_id"]
+        self._entries: Dict[Tuple[str, str], Dict[str, Any]] = manifest["entries"]
+        self._segments: Dict[str, Any] = {}
+
+    def __contains__(self, stage_key: Tuple[str, str]) -> bool:
+        return stage_key in self._entries
+
+    def keys(self) -> Iterable[Tuple[str, str]]:
+        return self._entries.keys()
+
+    def load(self, stage: str, key: str, default: Any = None) -> Any:
+        """The published payload for ``(stage, key)``, or ``default``."""
+        entry = self._entries.get((stage, key))
+        if entry is None:
+            return default
+        try:
+            segment = self._segments.get(entry["name"])
+            if segment is None:
+                segment = _attach(entry["name"])
+                self._segments[entry["name"]] = segment
+            if entry["kind"] == "ndarray":
+                return np.ndarray(
+                    entry["shape"],
+                    dtype=np.dtype(entry["dtype"]),
+                    buffer=segment.buf,
+                )
+            blob = bytes(segment.buf[: entry["nbytes"]])
+            return pickle.loads(blob)
+        except (OSError, FileNotFoundError, pickle.UnpicklingError):
+            # A vanished or corrupt segment degrades to a miss (the
+            # store then falls back to disk or a rebuild), never to a
+            # wrong artifact.
+            return default
+
+    def close(self) -> None:
+        """Detach every attached segment (does NOT unlink)."""
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._segments = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"ShmArtifactReader(id={self.pool_id[:8]}, "
+            f"entries={len(self._entries)}, attached={len(self._segments)})"
+        )

@@ -216,6 +216,7 @@ class LinkSet:
         block_size: Optional[int] = None,
         max_dense_links: Optional[int] = None,
         force_chunked: Optional[bool] = None,
+        backend=None,
     ):
         """The :class:`~repro.sinr.kernels.KernelCache` attached to this
         link set (created lazily, shared by all consumers).
@@ -235,20 +236,25 @@ class LinkSet:
             block_size is not None
             or max_dense_links is not None
             or force_chunked is not None
+            or backend is not None
         )
         if self._kernel_cache is None or explicit:
             if self._kernel_cache is not None:
-                current_bs, current_mdl, current_fc = self._kernel_cache.config()
+                current_bs, current_mdl, current_fc, current_be = (
+                    self._kernel_cache.config()
+                )
                 block_size = current_bs if block_size is None else block_size
                 max_dense_links = (
                     current_mdl if max_dense_links is None else max_dense_links
                 )
                 force_chunked = current_fc if force_chunked is None else force_chunked
+                backend = current_be if backend is None else backend
             requested = KernelCache(
                 self,
                 block_size=block_size,
                 max_dense_links=max_dense_links,
                 force_chunked=bool(force_chunked),
+                backend=backend,
             )
             if self._kernel_cache is None or self._kernel_cache.config() != requested.config():
                 self._kernel_cache = requested

@@ -96,6 +96,7 @@ def run_cell(cell: CellSpec, *, store: Optional[StageStore] = None) -> CellResul
             alpha=cell.alpha,
             beta=cell.beta,
             num_frames=cell.num_frames,
+            backend=cell.backend,
         )
         pipeline = (
             Pipeline(config) if store is None else Pipeline(config, store=store)
@@ -199,6 +200,11 @@ class SweepEngine:
     cell_runner:
         Override of :func:`run_cell` — for tests with ``jobs == 1``
         (a pool requires a picklable module-level function).
+    transport:
+        How process workers receive warm stage artifacts: ``"auto"``
+        (shared memory when available, else the disk tier), ``"shm"``
+        (require shared memory) or ``"disk"``.  See
+        :class:`~repro.jobs.service.JobService`.
     """
 
     def __init__(
@@ -210,6 +216,7 @@ class SweepEngine:
         resume: bool = True,
         cache_dir: Optional[Union[str, Path]] = None,
         cell_runner: Callable[[CellSpec], CellResult] = run_cell,
+        transport: str = "auto",
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -219,6 +226,7 @@ class SweepEngine:
         self.resume = resume
         self.cache_dir = cache_dir
         self.cell_runner = cell_runner
+        self.transport = transport
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -316,6 +324,7 @@ class SweepEngine:
             workers=self.jobs,
             cache_dir=self.cache_dir,
             cell_runner=self.cell_runner if self.cell_runner is not run_cell else None,
+            transport=self.transport,
         )
         try:
             handles = service.submit_cells(pending)

@@ -55,6 +55,11 @@ class CellSpec:
     measure: Tuple[str, ...] = ("schedule",)
     scenario: str = "static"
     epochs: int = 1
+    #: Numeric backend (:mod:`repro.backend`).  Deliberately NOT part of
+    #: :attr:`cell_id`: backends are bit-identical by contract, so rows
+    #: produced under different backends are interchangeable and resume
+    #: across backend switches.
+    backend: str = "dense-numpy"
 
     @property
     def is_dynamic(self) -> bool:
@@ -132,6 +137,10 @@ class SweepSpec:
     epochs:
         Timeline length for dynamic cells; ``static`` with ``epochs ==
         1`` is the plain one-shot pipeline.
+    backend:
+        Numeric backend (:mod:`repro.backend`) every cell runs on.  A
+        single value, not an axis: backends are bit-identical by
+        contract, so a backend axis would only duplicate rows.
     """
 
     topologies: Tuple[str, ...]
@@ -147,6 +156,7 @@ class SweepSpec:
     measure: Tuple[str, ...] = ("schedule",)
     scenarios: Tuple[str, ...] = ("static",)
     epochs: int = 1
+    backend: str = "dense-numpy"
 
     def __post_init__(self) -> None:
         # Normalise sequences to tuples so specs hash and compare.
@@ -183,6 +193,10 @@ class SweepSpec:
             measurements.get(m)
         for scenario in self.scenarios:
             scenario_registry.get(scenario)
+        # Lazy import: repro.backend must not load during api.__init__.
+        from repro.backend import numeric_backends
+
+        numeric_backends.get(self.backend)
         if not isinstance(self.epochs, int) or self.epochs < 1:
             raise ConfigurationError(
                 f"epochs must be a positive int, got {self.epochs!r}"
@@ -253,6 +267,7 @@ class SweepSpec:
                                                 measure=self.measure,
                                                 scenario=scenario,
                                                 epochs=self.epochs,
+                                                backend=self.backend,
                                             )
 
     # ------------------------------------------------------------------

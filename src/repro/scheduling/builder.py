@@ -103,6 +103,10 @@ class ScheduleBuilder:
         Optional row-block size for the link set's interference kernel
         cache (see :mod:`repro.sinr.kernels`); tune it when scheduling
         10k+ link networks whose dense matrices would not fit in memory.
+    backend:
+        Optional numeric-backend name or instance (:mod:`repro.backend`)
+        pinned onto the link set's kernel cache before building; results
+        are bit-identical across backends by contract.
     """
 
     def __init__(
@@ -114,6 +118,7 @@ class ScheduleBuilder:
         delta: float = DEFAULT_DELTA,
         tau: float = DEFAULT_TAU,
         kernel_block_size: Optional[int] = None,
+        backend=None,
     ) -> None:
         self.model = model
         self.mode = PowerMode(mode)
@@ -127,6 +132,7 @@ class ScheduleBuilder:
         self.delta = float(delta)
         self.tau = float(tau)
         self.kernel_block_size = kernel_block_size
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def conflict_graph(self, links: LinkSet) -> ConflictGraph:
@@ -164,8 +170,8 @@ class ScheduleBuilder:
         cache; fixed-power modes additionally use the incremental
         row-sum repair pass.
         """
-        if self.kernel_block_size is not None:
-            links.kernel(block_size=self.kernel_block_size)
+        if self.kernel_block_size is not None or self.backend is not None:
+            links.kernel(block_size=self.kernel_block_size, backend=self.backend)
         graph = self.conflict_graph(links)
         colors = greedy_coloring(graph)
         classes = color_classes(colors)

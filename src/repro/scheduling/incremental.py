@@ -232,6 +232,12 @@ class IncrementalScheduler:
     :meth:`schedule` accepting the previous epoch's
     :class:`ScheduleState`.  GLOBAL power mode is rejected: the
     incremental eviction oracle is the fixed-power row-sum condition.
+
+    Builder kwargs (``gamma``/``delta``/``tau``/``kernel_block_size``/
+    ``backend``) are forwarded verbatim, so the eviction and re-insert
+    probes run on the same pluggable numeric backend
+    (:mod:`repro.backend`) as a from-scratch build — with bit-identical
+    results by the backend contract.
     """
 
     def __init__(

@@ -18,6 +18,11 @@ Two implementations are provided:
   pass maintains each open slot's row sums incrementally: testing a
   candidate costs ``O(|slot|)`` kernel-cache entries instead of a full
   ``O(|slot|^2)`` rebuild per probe.
+
+Both passes read interference exclusively through the link set's kernel
+cache, which delegates block math to the pluggable numeric backend
+(:mod:`repro.backend`); repair decisions are therefore bit-identical
+across backends.
 """
 
 from __future__ import annotations

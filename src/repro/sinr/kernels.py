@@ -29,6 +29,13 @@ replaces that: one cache is attached to each (immutable)
   row blocks of ``block_size`` and no ``n x n`` float64 array is ever
   allocated.
 
+The *inner math* — how each block is actually computed — lives behind
+the pluggable :class:`~repro.backend.base.NumericBackend` interface
+(``dense-numpy`` / ``blocked-sparse`` / ``numba-jit``); the cache keeps
+only the orchestration: memoization, lazy promotion, chunk iteration
+and statistics.  Backends are bit-identical by contract, so swapping
+one never changes a schedule, a measurement or a store key.
+
 Link sets are immutable, so the geometry underneath a cache can never go
 stale.  Power vectors are keyed by content digest
 (:func:`power_digest`), so replacing or mutating a power vector
@@ -53,9 +60,8 @@ from repro.constants import (
     KERNEL_DENSE_PROMOTE_AFTER,
     KERNEL_MAX_DENSE_LINKS,
 )
-from repro.errors import ConfigurationError
-from repro.geometry.distances import cross_distances
 from repro.links.linkset import LinkSet
+from repro.util.validation import check_int_min
 
 __all__ = ["KernelCache", "KernelStats", "get_kernel", "power_digest"]
 
@@ -118,9 +124,13 @@ class KernelCache:
     block_size:
         Row-block size for chunked evaluation.
     max_dense_links:
-        Largest ``n`` for which dense memoization is allowed.
+        Largest ``n`` for which dense memoization is allowed (>= 1; use
+        ``force_chunked=True`` to disable dense memoization entirely).
     force_chunked:
         Never allocate a dense matrix, regardless of ``n``.
+    backend:
+        Numeric backend name or instance (default ``dense-numpy``); see
+        :mod:`repro.backend`.
     """
 
     def __init__(
@@ -130,18 +140,23 @@ class KernelCache:
         block_size: Optional[int] = None,
         max_dense_links: Optional[int] = None,
         force_chunked: bool = False,
+        backend=None,
     ) -> None:
+        from repro.backend import resolve_backend
+
         self.links = links
-        self.block_size = int(KERNEL_BLOCK_SIZE if block_size is None else block_size)
-        self.max_dense_links = int(
-            KERNEL_MAX_DENSE_LINKS if max_dense_links is None else max_dense_links
+        self.backend = resolve_backend(backend)
+        self.block_size = check_int_min(
+            "block_size",
+            KERNEL_BLOCK_SIZE if block_size is None else block_size,
+            minimum=1,
         )
-        if self.block_size <= 0:
-            raise ConfigurationError(f"block_size must be positive, got {block_size}")
-        if self.max_dense_links < 0:
-            raise ConfigurationError(
-                f"max_dense_links must be non-negative, got {max_dense_links}"
-            )
+        self.max_dense_links = check_int_min(
+            "max_dense_links",
+            KERNEL_MAX_DENSE_LINKS if max_dense_links is None else max_dense_links,
+            minimum=1,
+            hint="use force_chunked=True to disable dense memoization entirely",
+        )
         self.force_chunked = bool(force_chunked)
         self._dense: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
         self._uses: dict = {}
@@ -158,11 +173,20 @@ class KernelCache:
     @property
     def chunked(self) -> bool:
         """Whether dense ``n x n`` materialisation is forbidden."""
-        return self.force_chunked or self.n > self.max_dense_links
+        return (
+            self.force_chunked
+            or not self.backend.allows_dense
+            or self.n > self.max_dense_links
+        )
 
-    def config(self) -> Tuple[int, int, bool]:
+    def config(self) -> Tuple[int, int, bool, str]:
         """The tuple identifying this cache's configuration."""
-        return (self.block_size, self.max_dense_links, self.force_chunked)
+        return (
+            self.block_size,
+            self.max_dense_links,
+            self.force_chunked,
+            self.backend.name,
+        )
 
     def invalidate(self) -> None:
         """Drop every memoized matrix and promotion counter."""
@@ -173,7 +197,7 @@ class KernelCache:
         mode = "chunked" if self.chunked else "dense"
         return (
             f"KernelCache(n={self.n}, {mode}, block={self.block_size}, "
-            f"cached={len(self._dense)})"
+            f"backend={self.backend.name}, cached={len(self._dense)})"
         )
 
     # ------------------------------------------------------------------
@@ -247,12 +271,7 @@ class KernelCache:
         """
         rows = as_index_array(rows)
         cols = as_index_array(cols)
-        s, r = self.links.senders, self.links.receivers
-        gap = cross_distances(s[rows], s[cols])
-        np.minimum(gap, cross_distances(r[rows], r[cols]), out=gap)
-        np.minimum(gap, cross_distances(s[rows], r[cols]), out=gap)
-        np.minimum(gap, cross_distances(r[rows], s[cols]), out=gap)
-        gap[rows[:, None] == cols[None, :]] = 0.0
+        gap = self.backend.gap_block(self.links, rows, cols)
         self.stats.block_evals += 1
         self.stats.entries_served += rows.size * cols.size
         return gap
@@ -261,30 +280,18 @@ class KernelCache:
         """Sender-receiver distances ``D[j, i] = d(s_j, r_i)``."""
         rows = as_index_array(rows)
         cols = as_index_array(cols)
-        return cross_distances(self.links.senders[rows], self.links.receivers[cols])
+        return self.backend.srdist_block(self.links, rows, cols)
 
     # ------------------------------------------------------------------
     # Additive kernel  I[j, i] = min(1, l_j^alpha / d(i, j)^alpha)
     # ------------------------------------------------------------------
     def _additive_builder(self, alpha: float) -> Callable[[], np.ndarray]:
-        def build() -> np.ndarray:
-            gap = self.links.link_distances()
-            lengths = self.links.lengths
-            with np.errstate(divide="ignore", over="ignore"):
-                ratio = (lengths[:, None] / gap) ** alpha
-            m = np.minimum(1.0, ratio)
-            np.fill_diagonal(m, 0.0)
-            return m
-
-        return build
+        return lambda: self.backend.additive_full(self.links, alpha)
 
     def _additive_block(self, alpha: float, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
-        gap = self.gap_submatrix(rows, cols)
-        lengths = self.links.lengths
-        with np.errstate(divide="ignore", over="ignore"):
-            ratio = (lengths[rows][:, None] / gap) ** alpha
-        m = np.minimum(1.0, ratio)
-        m[rows[:, None] == cols[None, :]] = 0.0
+        m = self.backend.additive_block(self.links, alpha, rows, cols)
+        self.stats.block_evals += 1
+        self.stats.entries_served += rows.size * cols.size
         return m
 
     def additive_matrix(self, alpha: float) -> np.ndarray:
@@ -309,13 +316,7 @@ class KernelCache:
 
     def additive_query(self, alpha: float, source, target: int) -> float:
         """``I(S, i) = sum_{j in S} I[j, i]`` as an O(|S|) query."""
-        src = as_index_array(source)
-        if src.size == 0:
-            return 0.0
-        total = 0.0
-        for block in self.iter_blocks(src):
-            total += float(self.additive_submatrix(alpha, block, [int(target)]).sum())
-        return total
+        return self.backend.additive_interference(self, alpha, source, target)
 
     # ------------------------------------------------------------------
     # Relative-interference kernel  R[j, i] = (P_j/P_i) (l_i/d_ji)^alpha
@@ -325,26 +326,12 @@ class KernelCache:
         return ("relative", float(alpha), power_digest(vec))
 
     def _relative_builder(self, vec: np.ndarray, alpha: float) -> Callable[[], np.ndarray]:
-        def build() -> np.ndarray:
-            dist = self.links.sender_receiver_distances()
-            lengths = self.links.lengths
-            with np.errstate(divide="ignore", over="ignore"):
-                r = (vec[:, None] / vec[None, :]) * (lengths[None, :] / dist) ** alpha
-            np.fill_diagonal(r, 0.0)
-            return r
-
-        return build
+        return lambda: self.backend.relative_full(self.links, vec, alpha)
 
     def _relative_block(
         self, vec: np.ndarray, alpha: float, rows: np.ndarray, cols: np.ndarray
     ) -> np.ndarray:
-        dist = self.srdist_submatrix(rows, cols)
-        lengths = self.links.lengths
-        with np.errstate(divide="ignore", over="ignore"):
-            rel = (vec[rows][:, None] / vec[cols][None, :]) * (
-                lengths[cols][None, :] / dist
-            ) ** alpha
-        rel[rows[:, None] == cols[None, :]] = 0.0
+        rel = self.backend.relative_block(self.links, vec, alpha, rows, cols)
         self.stats.block_evals += 1
         self.stats.entries_served += rows.size * cols.size
         return rel
@@ -386,38 +373,25 @@ class KernelCache:
         dense = self._dense_for_query(key, self._relative_builder(vec, alpha))
         if dense is not None:
             self.stats.entries_served += idx.size * idx.size
-            return dense[np.ix_(idx, idx)].sum(axis=0)
+            return self.backend.colsums(dense[np.ix_(idx, idx)])
         if not self.chunked:
             # Bounded n: one block, bit-identical to the seed path.
-            return self._relative_block(vec, alpha, idx, idx).sum(axis=0)
+            return self.backend.colsums(self._relative_block(vec, alpha, idx, idx))
         sums = np.zeros(idx.size)
         for block in self.iter_blocks(idx):
-            sums += self._relative_block(vec, alpha, block, idx).sum(axis=0)
+            sums += self.backend.colsums(self._relative_block(vec, alpha, block, idx))
         return sums
 
     # ------------------------------------------------------------------
     # Affectance kernel  A[i, j] = beta * l_i^alpha / d_ji^alpha
     # ------------------------------------------------------------------
     def _affectance_builder(self, alpha: float, beta: float) -> Callable[[], np.ndarray]:
-        def build() -> np.ndarray:
-            dist = self.links.sender_receiver_distances()
-            with np.errstate(divide="ignore", over="ignore"):
-                ratio = (self.links.lengths[None, :] / dist) ** alpha
-            a = beta * ratio.T
-            np.fill_diagonal(a, 0.0)
-            return a
-
-        return build
+        return lambda: self.backend.affectance_full(self.links, alpha, beta)
 
     def _affectance_block(
         self, alpha: float, beta: float, rows: np.ndarray, cols: np.ndarray
     ) -> np.ndarray:
-        dist = self.srdist_submatrix(cols, rows)  # [j, i]
-        lengths = self.links.lengths
-        with np.errstate(divide="ignore", over="ignore"):
-            ratio = (lengths[rows][None, :] / dist) ** alpha  # [j, i]
-        a = beta * ratio.T  # [i, j]
-        a[rows[:, None] == cols[None, :]] = 0.0
+        a = self.backend.affectance_block(self.links, alpha, beta, rows, cols)
         self.stats.block_evals += 1
         self.stats.entries_served += rows.size * cols.size
         return a
@@ -440,6 +414,7 @@ def get_kernel(
     block_size: Optional[int] = None,
     max_dense_links: Optional[int] = None,
     force_chunked: Optional[bool] = None,
+    backend=None,
 ) -> KernelCache:
     """The :class:`KernelCache` attached to ``links`` (see
     :meth:`LinkSet.kernel`)."""
@@ -447,4 +422,5 @@ def get_kernel(
         block_size=block_size,
         max_dense_links=max_dense_links,
         force_chunked=force_chunked,
+        backend=backend,
     )

@@ -59,13 +59,16 @@ def affectance_matrix(
     return a
 
 
-def spectral_radius(matrix: np.ndarray) -> float:
-    """Spectral radius of a non-negative square matrix."""
-    if matrix.shape[0] == 0:
-        return 0.0
-    if matrix.shape[0] == 1:
-        return float(abs(matrix[0, 0]))
-    return float(np.abs(np.linalg.eigvals(matrix)).max())
+def spectral_radius(matrix: np.ndarray, *, backend=None) -> float:
+    """Spectral radius of a non-negative square matrix.
+
+    Delegates to the numeric backend (:mod:`repro.backend`); every
+    backend shares the dense ``eigvals`` reference implementation, so
+    the result never depends on the backend choice.
+    """
+    from repro.backend import resolve_backend
+
+    return resolve_backend(backend).spectral_radius(matrix)
 
 
 def is_feasible_some_power(
@@ -88,7 +91,8 @@ def is_feasible_some_power(
         a = affectance_matrix(links, model, active)
     except InfeasibleError:
         return False
-    return spectral_radius(a) < 1.0 - margin
+    backend = links.kernel().backend
+    return backend.spectral_radius(a) < 1.0 - margin
 
 
 def feasible_power_assignment(
@@ -119,10 +123,12 @@ def feasible_power_assignment(
         p = max(model.min_power(float(lengths[0])), 1.0)
         return np.array([p])
     a = affectance_matrix(links, model, idx)
-    if spectral_radius(a) >= 1.0 - margin:
+    backend = links.kernel().backend
+    rho = backend.spectral_radius(a)
+    if rho >= 1.0 - margin:
         raise InfeasibleError(
             f"set of {idx.size} links is infeasible under any power "
-            f"(spectral radius {spectral_radius(a):.6f} >= 1)"
+            f"(spectral radius {rho:.6f} >= 1)"
         )
     if model.noiseless:
         b = np.ones(idx.size)

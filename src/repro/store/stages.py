@@ -41,6 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scheduling.builder import BuildReport as _BuildReport
 
 __all__ = [
+    "STAGE_ENCODERS",
     "build_schedule_direct",
     "canonical_deployment",
     "canonical_links",
@@ -157,7 +158,13 @@ def build_schedule_direct(
     :meth:`Pipeline.build_schedule` delegate here.  ``extra`` carries
     per-call kwargs that are not config state — the scenario runner
     threads a delta scheduler's ``prev_state``/``link_ids`` through it.
+
+    The config's numeric backend is pinned onto the link set's kernel
+    cache here, so every scheduler (and every downstream feasibility
+    probe on the same link set) runs on it.  Backends are bit-identical
+    by contract, which is why this pin does not appear in any stage key.
     """
+    links.kernel(backend=config.backend)
     scheduler = schedulers.get(config.scheduler)
     power = power_schemes.get(config.power)
     params = dict(config.scheduler_params)
@@ -209,6 +216,17 @@ def _decode_schedule(
         data["mode"] = PowerMode(data["mode"])
         report = BuildReport(**data)
     return schedule, report
+
+
+#: Write-side codec per persistable stage — shared by the disk tier and
+#: the shared-memory transport (:mod:`repro.jobs.shm`), so payloads read
+#: back through either tier decode identically.  ``links`` is absent by
+#: design: its artifact carries process-local kernel caches.
+STAGE_ENCODERS: Dict[str, Any] = {
+    "deploy": _encode_deployment,
+    "tree": _encode_tree,
+    "schedule": _encode_schedule,
+}
 
 
 def schedule_for(

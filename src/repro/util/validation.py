@@ -6,7 +6,23 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["check_finite_array", "check_positive", "check_probability"]
+__all__ = [
+    "check_finite_array",
+    "check_int_min",
+    "check_positive",
+    "check_probability",
+]
+
+
+def check_int_min(name: str, value: int, *, minimum: int, hint: str = "") -> int:
+    """Validate that ``value`` is an integer of at least ``minimum``."""
+    value = int(value)
+    if value < minimum:
+        suffix = f" ({hint})" if hint else ""
+        raise ConfigurationError(
+            f"{name} must be an integer >= {minimum}, got {value}{suffix}"
+        )
+    return value
 
 
 def check_positive(name: str, value: float, *, strict: bool = True) -> float:

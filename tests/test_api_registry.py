@@ -226,6 +226,7 @@ class TestPipeline:
         assert prov["components"] == {
             "topology": "grid", "tree": "mst", "power": "global",
             "power_mode": "global", "scheduler": "certified",
+            "backend": "dense-numpy",
         }
         assert PipelineConfig.from_dict(prov["config"]) == cfg
 

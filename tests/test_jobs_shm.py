@@ -1,0 +1,248 @@
+"""Tests for the shared-memory stage transport (``repro.jobs.shm``)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.config import PipelineConfig
+from repro.api.pipeline import Pipeline
+from repro.errors import ConfigurationError
+from repro.jobs import (
+    JobService,
+    ShmArtifactPool,
+    ShmArtifactReader,
+    shared_memory_available,
+)
+from repro.jobs.service import _execute_job
+from repro.store import StageStore, get_default_store, reset_default_store
+from repro.store.stages import STAGE_ENCODERS
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="multiprocessing.shared_memory unusable on this platform",
+)
+
+
+def cfg(**overrides) -> PipelineConfig:
+    base = dict(topology="square", n=12, seed=0)
+    base.update(overrides)
+    return PipelineConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# Pool / reader round-trips
+# ----------------------------------------------------------------------
+class TestPoolReaderRoundtrip:
+    def test_ndarray_payload_zero_copy(self):
+        coords = np.arange(12.0).reshape(6, 2)
+        with ShmArtifactPool() as pool:
+            pool.publish("deploy", "k1", coords)
+            reader = ShmArtifactReader(pool.manifest())
+            out = reader.load("deploy", "k1")
+            assert out.tobytes() == coords.tobytes()
+            # Zero-copy: the reconstructed array aliases shared memory,
+            # it does not own its bytes.
+            assert not out.flags.owndata
+            reader.close()
+
+    def test_pickle_payload_roundtrip(self):
+        payload = {"edges": [[0, 1], [1, 2]], "sink": 0}
+        with ShmArtifactPool() as pool:
+            pool.publish("tree", "k1", payload)
+            reader = ShmArtifactReader(pool.manifest())
+            assert reader.load("tree", "k1") == payload
+            reader.close()
+
+    def test_missing_key_returns_default(self):
+        with ShmArtifactPool() as pool:
+            reader = ShmArtifactReader(pool.manifest())
+            sentinel = object()
+            assert reader.load("deploy", "nope", sentinel) is sentinel
+
+    def test_publish_is_idempotent_per_key(self):
+        with ShmArtifactPool() as pool:
+            pool.publish("deploy", "k", np.zeros(3))
+            pool.publish("deploy", "k", np.ones(3))
+            assert len(pool) == 1
+            reader = ShmArtifactReader(pool.manifest())
+            assert reader.load("deploy", "k").sum() == 0.0
+            reader.close()
+
+    def test_close_unlinks_segments(self):
+        pool = ShmArtifactPool()
+        pool.publish("deploy", "k", np.arange(4.0))
+        manifest = pool.manifest()
+        pool.close()
+        pool.close()  # idempotent
+        reader = ShmArtifactReader(manifest)
+        missing = object()
+        assert reader.load("deploy", "k", missing) is missing
+
+    def test_publish_after_close_rejected(self):
+        pool = ShmArtifactPool()
+        pool.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            pool.publish("deploy", "k", np.zeros(1))
+
+    def test_publish_store_uses_stage_codecs(self):
+        store = StageStore()
+        artifact = Pipeline(cfg(), store=store).run()
+        with ShmArtifactPool() as pool:
+            published = pool.publish_store(store)
+            assert published == len(set(STAGE_ENCODERS) & {"deploy", "tree", "schedule"})
+            reader = ShmArtifactReader(pool.manifest())
+            keys = {stage for stage, _ in reader.keys()}
+            assert keys == {"deploy", "tree", "schedule"}
+            (deploy_key,) = [k for s, k in reader.keys() if s == "deploy"]
+            payload = reader.load("deploy", deploy_key)
+            assert payload.tobytes() == np.asarray(artifact.points.coords).tobytes()
+            reader.close()
+
+
+# ----------------------------------------------------------------------
+# StageStore shm tier
+# ----------------------------------------------------------------------
+class TestStoreShmTier:
+    def test_shm_hit_counted_and_promoted(self):
+        warm = StageStore()
+        Pipeline(cfg(), store=warm).run()
+        with ShmArtifactPool() as pool:
+            pool.publish_store(warm)
+            cold = StageStore()
+            cold.attach_shm(ShmArtifactReader(pool.manifest()))
+            artifact = Pipeline(cfg(), store=cold).run()
+            stats = cold.stats.snapshot()
+            assert stats["deploy"]["shm_hits"] == 1
+            assert stats["deploy"]["builds"] == 0
+            assert stats["tree"]["shm_hits"] == 1
+            assert stats["schedule"]["shm_hits"] == 1
+            # links has no codec: derived locally, never transported.
+            assert stats["links"]["builds"] == 1
+            reference = Pipeline(cfg(), store=StageStore()).run()
+            assert artifact.points.coords.tobytes() == reference.points.coords.tobytes()
+            assert artifact.num_slots == reference.num_slots
+
+    def test_attach_shm_returns_previous(self):
+        store = StageStore()
+        assert store.attach_shm("reader-a") is None
+        assert store.attach_shm(None) == "reader-a"
+
+    def test_entries_iterates_stage_pairs(self):
+        store = StageStore()
+        store.get_or_build("deploy", "k1", lambda: "a")
+        store.get_or_build("tree", "k2", lambda: "b")
+        store.get_or_build("deploy", "k3", lambda: "c")
+        assert list(store.entries("deploy")) == [("k1", "a"), ("k3", "c")]
+        assert list(store.entries("tree")) == [("k2", "b")]
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution path
+# ----------------------------------------------------------------------
+class TestWorkerPath:
+    def test_execute_job_serves_from_shm(self):
+        """A cold worker store must resolve published stages via shm
+        (this is what pool workers do when they don't inherit a warm
+        coordinator store)."""
+        reset_default_store()
+        config = cfg(n=16)
+        inline = Pipeline(config, store=get_default_store()).run()
+        with ShmArtifactPool() as pool:
+            pool.publish_store(get_default_store())
+            manifest = pool.manifest()
+            reset_default_store()  # simulate a fresh worker process
+            value, delta = _execute_job("pipeline", config.to_dict(), None, manifest)
+            assert delta["deploy"]["shm_hits"] == 1
+            assert delta["deploy"]["builds"] == 0
+            assert delta["schedule"]["shm_hits"] == 1
+            assert value.num_slots == inline.num_slots
+            assert value.points.coords.tobytes() == inline.points.coords.tobytes()
+        reset_default_store()
+
+    def test_execute_job_without_manifest_detaches(self):
+        reset_default_store()
+        config = cfg(n=10)
+        value, _ = _execute_job("pipeline", config.to_dict(), None, None)
+        assert get_default_store().shm is None
+        assert value.num_slots >= 1
+        reset_default_store()
+
+
+# ----------------------------------------------------------------------
+# JobService transport selection
+# ----------------------------------------------------------------------
+class TestServiceTransport:
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(ConfigurationError, match="transport"):
+            JobService(transport="carrier-pigeon")
+
+    @pytest.mark.parametrize("transport", ["auto", "shm", "disk"])
+    def test_pool_results_identical_across_transports(self, transport):
+        reset_default_store()
+        grid = [cfg(n=n, power=mode) for n in (8, 12) for mode in ("global", "uniform")]
+        with JobService(store=StageStore()) as inline:
+            expected = [h.result().num_slots for h in inline.submit_many(grid)]
+        # Warm the coordinator store so there is something to publish.
+        for config in grid:
+            Pipeline(config, store=get_default_store()).run()
+        with JobService(workers=2, transport=transport) as pool:
+            slots = [h.result().num_slots for h in pool.submit_many(grid)]
+            if transport == "shm":
+                assert pool._shm_pool is not None and len(pool._shm_pool) > 0
+            if transport == "disk":
+                assert pool._shm_pool is None
+        assert slots == expected
+        reset_default_store()
+
+    def test_close_unlinks_published_segments(self):
+        reset_default_store()
+        Pipeline(cfg(), store=get_default_store()).run()
+        service = JobService(workers=2, transport="shm")
+        handle = service.submit(cfg())
+        handle.result()
+        pool = service._shm_pool
+        manifest = service._shm_manifest
+        assert pool is not None and manifest is not None
+        service.close()
+        assert service._shm_pool is None
+        reader = ShmArtifactReader(manifest)
+        missing = object()
+        for stage, key in reader.keys():
+            assert reader.load(stage, key, missing) is missing
+        reset_default_store()
+
+    def test_empty_store_publishes_nothing(self):
+        reset_default_store()
+        with JobService(workers=2, transport="shm") as service:
+            handle = service.submit(cfg(n=10))
+            assert handle.result().num_slots >= 1
+            assert service._shm_pool is None  # nothing warm to share
+        reset_default_store()
+
+
+class TestSweepTransportParity:
+    def test_shm_sweep_rows_match_inline(self, tmp_path):
+        from repro.runner import SweepEngine, SweepSpec
+        from repro.runner.results import TIMING_FIELDS
+
+        def rows(path):
+            out = []
+            with open(path) as fh:
+                for line in fh:
+                    row = json.loads(line)
+                    for field in TIMING_FIELDS:
+                        row.pop(field, None)
+                    out.append(row)
+            return out
+
+        spec = SweepSpec(
+            topologies=("square",), ns=(8, 12), modes=("global",), seeds=2
+        )
+        reset_default_store()
+        a, b = tmp_path / "inline.jsonl", tmp_path / "shm.jsonl"
+        SweepEngine(spec, jobs=1, out_path=a).run()
+        # Coordinator store is now warm: the pool publishes it over shm.
+        SweepEngine(spec, jobs=2, out_path=b, transport="shm").run()
+        assert rows(a) == rows(b)
+        reset_default_store()

@@ -276,6 +276,17 @@ class TestStoreKeyProperties:
         assert schedule_key(other) != schedule_key(config)
 
     @settings(max_examples=50, deadline=None)
+    @given(
+        pipeline_configs(),
+        st.sampled_from(("dense-numpy", "blocked-sparse", "numba-jit")),
+    )
+    def test_backend_never_splits_any_stage_key(self, config, backend):
+        """Backends are bit-identical by contract, so the backend choice
+        must never fragment the content-addressed cache."""
+        other = config.replace(backend=backend)
+        assert stage_keys(other) == stage_keys(config)
+
+    @settings(max_examples=50, deadline=None)
     @given(pipeline_configs(), st.sampled_from(("mst", "matching", "knn-mst")))
     def test_tree_splits_tree_and_schedule_not_deploy(self, config, tree):
         other = config.replace(tree=tree)
