@@ -1,8 +1,10 @@
 """Legacy setup shim.
 
-The canonical metadata lives in ``pyproject.toml``; this file exists so
-``pip install -e . --no-use-pep517`` works in offline environments that
-lack the ``wheel`` package.
+The canonical metadata lives in ``setup.cfg`` (including the
+``py.typed`` package-data declaration and the mypy per-package
+strictness table); this file exists so ``pip install -e .
+--no-use-pep517`` works in offline environments that lack the
+``wheel`` package.
 """
 
 from setuptools import setup

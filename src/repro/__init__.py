@@ -28,6 +28,8 @@ from repro.aggregation import (
     run_convergecast,
 )
 from repro.api import (
+    Finding,
+    LintReport,
     NumericBackend,
     Pipeline,
     PipelineConfig,
@@ -36,8 +38,11 @@ from repro.api import (
     ScenarioResult,
     ScenarioRunner,
     SimulationResult,
+    lint_paths,
+    lint_rules,
     numeric_backends,
     register_backend,
+    register_lint_rule,
     register_scenario,
 )
 from repro.conflict import (
@@ -118,6 +123,7 @@ __all__ = [
     "ConvergecastResult",
     "DistributedSchedulingSimulator",
     "DoublyExponentialChain",
+    "Finding",
     "GeometryError",
     "GlobalPowerSolver",
     "InfeasibleError",
@@ -129,6 +135,7 @@ __all__ = [
     "Link",
     "LinkError",
     "LinkSet",
+    "LintReport",
     "MAX",
     "MEAN",
     "MIN",
@@ -169,6 +176,8 @@ __all__ = [
     "grid_points",
     "length_diversity",
     "line_points",
+    "lint_paths",
+    "lint_rules",
     "make_deployment",
     "mean_power",
     "median_via_counting",
@@ -181,6 +190,7 @@ __all__ = [
     "predicted_slots_oblivious",
     "protocol_model_schedule",
     "register_backend",
+    "register_lint_rule",
     "register_scenario",
     "run_convergecast",
     "trivial_tdma_schedule",

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Tuple
 
+from repro.errors import SimulationError
+
 __all__ = ["AggregationFunction", "SUM", "MAX", "MIN", "COUNT", "MEAN"]
 
 
@@ -44,7 +46,7 @@ class AggregationFunction:
         try:
             acc = self.lift(next(iterator))
         except StopIteration:
-            raise ValueError("cannot aggregate zero readings") from None
+            raise SimulationError("cannot aggregate zero readings") from None
         for r in iterator:
             acc = self.combine(acc, self.lift(r))
         return self.finalize(acc)

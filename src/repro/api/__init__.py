@@ -1,6 +1,6 @@
 """repro.api — the registry-backed public composition surface.
 
-Seven registries make every axis of the reproduction pluggable:
+Eight registries make every axis of the reproduction pluggable:
 
 * :data:`~repro.api.components.topologies` — deployment families,
 * :data:`~repro.api.components.trees` — aggregation-tree builders,
@@ -12,7 +12,9 @@ Seven registries make every axis of the reproduction pluggable:
   transforms (churn, mobility, fading, online arrivals),
 * :data:`~repro.backend.numeric_backends` — numeric backends for the
   SINR kernel core (bit-identical by contract; never a cache-key
-  ingredient).
+  ingredient),
+* :data:`~repro.analysis.core.lint_rules` — reprolint invariant rules
+  (the static-analysis gate over the contracts above).
 
 A :class:`PipelineConfig` names one component per axis (validated
 eagerly, dict round-trip for provenance); a :class:`Pipeline` resolves
@@ -29,6 +31,15 @@ returning a provenance-stamped :class:`RunArtifact`.
 """
 
 from repro.aggregation.simulator import SimulationResult
+from repro.analysis import (
+    Finding,
+    LintReport,
+    LintRule,
+    lint_paths,
+    lint_rules,
+    lint_source,
+    register_lint_rule,
+)
 from repro.api.components import (
     PowerSchemeSpec,
     SchedulerSpec,
@@ -70,6 +81,9 @@ from repro.backend import (
 
 __all__ = [
     "EpochResult",
+    "Finding",
+    "LintReport",
+    "LintRule",
     "MeasurementContext",
     "NumericBackend",
     "Pipeline",
@@ -84,10 +98,14 @@ __all__ = [
     "SimulationResult",
     "TopologySpec",
     "TreeSpec",
+    "lint_paths",
+    "lint_rules",
+    "lint_source",
     "measurements",
     "numeric_backends",
     "power_schemes",
     "register_backend",
+    "register_lint_rule",
     "register_measurement",
     "register_scenario",
     "register_topology",

@@ -144,7 +144,10 @@ class PipelineConfig:
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
-            raise ConfigurationError(f"unknown PipelineConfig fields: {sorted(unknown)}")
+            raise ConfigurationError(
+                f"unknown PipelineConfig fields: {sorted(unknown)}; "
+                f"valid fields: {sorted(known)}"
+            )
         return cls(**dict(data))
 
     # ------------------------------------------------------------------

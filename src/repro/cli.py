@@ -16,6 +16,8 @@ degradation table.
 ``batch``      — run a file of pipeline configs (JSON array or JSONL)
 through the :class:`~repro.jobs.JobService`.
 ``cache``      — inspect or clear an on-disk stage cache directory.
+``lint``       — run reprolint, the AST-based invariant linter
+(:mod:`repro.analysis`), over source paths; exit 2 on error findings.
 
 Every ``choices=`` list is derived from the component registries
 (:mod:`repro.api`), so registering a topology, tree builder, power
@@ -346,6 +348,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument(
         "--dir", required=True, help="stage cache directory (as in --cache-dir)"
     )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the reprolint invariant linter",
+        description="Check source files against the repo's contract rules "
+        "(seed determinism, store-stage purity, the backend bit-identity "
+        "boundary, shm lifecycles, the error hierarchy, documented "
+        "registrations).  Exits 2 when any error-severity finding survives "
+        "suppression comments (# reprolint: disable=RULE-ID).",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src/repro if it "
+        "exists, else the current directory)",
+    )
+    p_lint.add_argument(
+        "--json",
+        dest="json_output",
+        action="store_true",
+        help="emit the machine-readable finding/rule report on stdout",
+    )
+    p_lint.add_argument(
+        "--select",
+        type=_str_list,
+        default=None,
+        help="comma-separated rule ids to run (default: every registered rule)",
+    )
+    p_lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
     return parser
 
 
@@ -544,7 +580,31 @@ def _run_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import lint_paths, lint_rules
+
+    if args.list_rules:
+        for rule_id in lint_rules.names():
+            rule = lint_rules.get(rule_id)
+            print(f"{rule.rule_id:>12}  [{rule.severity}] {rule.title}")
+            if rule.contract:
+                print(f"{'':>12}  guards: {rule.contract}")
+        return 0
+    paths = args.paths
+    if not paths:
+        default = Path("src/repro")
+        paths = [default] if default.is_dir() else [Path(".")]
+    report = lint_paths(paths, select=args.select)
+    if args.json_output:
+        print(json.dumps(report.to_json_dict(), sort_keys=True))
+    else:
+        print(report.text())
+    return report.exit_code()
+
+
 def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "sweep":
         return _run_sweep(args)
     if args.command == "scenario":

@@ -14,6 +14,8 @@ from typing import List, Tuple
 
 import networkx as nx
 
+from repro.errors import ConfigurationError
+
 __all__ = ["cycle_multicoloring_demo", "MulticoloringResult"]
 
 
@@ -52,7 +54,7 @@ def cycle_multicoloring_demo(cycle_length: int = 5) -> MulticoloringResult:
     ``k = 5`` that is 2/5 versus 1/3.
     """
     if cycle_length < 3 or cycle_length % 2 == 0:
-        raise ValueError("demo requires an odd cycle length >= 3")
+        raise ConfigurationError("demo requires an odd cycle length >= 3")
     conflict = _edge_conflict_graph(cycle_length)
     coloring = nx.coloring.greedy_color(conflict, strategy="smallest_last")
     colors_used = 1 + max(coloring.values())

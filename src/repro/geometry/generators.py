@@ -122,7 +122,7 @@ def exponential_line(n: int, base: float = 2.0, start: float = 1.0) -> PointSet:
         raise ConfigurationError(f"start must be positive, got {start}")
     with np.errstate(over="ignore"):
         # Overflow becomes inf and is rejected by the finiteness check.
-        gaps = start * np.power(base, np.arange(n - 1, dtype=float))
+        gaps = start * base ** np.arange(n - 1, dtype=float)
         positions = np.concatenate([[0.0], np.cumsum(gaps)])
     if not np.all(np.isfinite(positions)):
         raise ConfigurationError("exponential_line overflow: reduce n or base")

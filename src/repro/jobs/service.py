@@ -140,7 +140,9 @@ def _execute_job(
         config = PipelineConfig.from_dict(payload)
         value = Pipeline(config, store=store).run()
     else:  # pragma: no cover - internal invariant
-        raise ConfigurationError(f"unknown job kind {kind!r}")
+        raise ConfigurationError(
+            f"unknown job kind {kind!r}; valid kinds: cell, pipeline"
+        )
     return value, store.stats.delta(before)
 
 

@@ -11,6 +11,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.errors import LinkError
 from repro.links.linkset import LinkSet
 
 __all__ = ["length_class_index", "length_classes"]
@@ -26,7 +27,7 @@ def length_class_index(lengths: np.ndarray, lmin: float | None = None) -> np.nda
     if lmin is None:
         lmin = float(lengths.min())
     if lmin <= 0:
-        raise ValueError(f"lmin must be positive, got {lmin}")
+        raise LinkError(f"lmin must be positive, got {lmin}")
     ratio = lengths / lmin
     # floor(log2(ratio)) + 1, with the shortest links in class 1.
     idx = np.floor(np.log2(np.maximum(ratio, 1.0))).astype(int) + 1

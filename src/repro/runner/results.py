@@ -107,7 +107,10 @@ class CellResult:
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
-            raise ConfigurationError(f"unknown CellResult fields: {sorted(unknown)}")
+            raise ConfigurationError(
+                f"unknown CellResult fields: {sorted(unknown)}; "
+                f"valid fields: {sorted(known)}"
+            )
         return cls(**data)
 
 
@@ -186,9 +189,12 @@ def group_summary(
     COR1 per-``n`` reference — the tables Theorem 1 / Corollary 1 are
     checked against.
     """
+    valid_keys = {f.name for f in fields(CellResult)}
     for key in keys:
-        if key not in {f.name for f in fields(CellResult)}:
-            raise ConfigurationError(f"unknown group-by key {key!r}")
+        if key not in valid_keys:
+            raise ConfigurationError(
+                f"unknown group-by key {key!r}; valid keys: {sorted(valid_keys)}"
+            )
     groups: Dict[Tuple, Dict] = {}
     for r in results:
         if not r.ok or r.slots is None:

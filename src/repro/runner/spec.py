@@ -281,5 +281,8 @@ class SweepSpec:
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
-            raise ConfigurationError(f"unknown SweepSpec fields: {sorted(unknown)}")
+            raise ConfigurationError(
+                f"unknown SweepSpec fields: {sorted(unknown)}; "
+                f"valid fields: {sorted(known)}"
+            )
         return cls(**data)

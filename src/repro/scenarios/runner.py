@@ -54,6 +54,7 @@ from repro.sinr.model import SINRModel
 from repro.spanning.tree import AggregationTree
 from repro.store import keys, stages
 from repro.store.store import StageStore, get_default_store
+from repro.util.rng import as_generator
 
 __all__ = ["EpochResult", "ScenarioResult", "ScenarioRunner"]
 
@@ -406,7 +407,7 @@ class ScenarioRunner:
         sim = AggregationSimulator(tree, schedule).run(
             inst.num_frames,
             injection_period=injection,
-            rng=np.random.default_rng((self.scenario_seed, inst.index)),
+            rng=as_generator((self.scenario_seed, inst.index)),
         )
         result.frames_injected = sim.frames_injected
         result.frames_completed = sim.frames_completed

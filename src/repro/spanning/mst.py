@@ -159,7 +159,10 @@ def mst_edges(points: PointSet, *, method: str = "auto") -> List[Edge]:
             raise GeometryError("Delaunay path unavailable (scipy missing or degenerate)")
         return mst_edges_kruskal(n, candidates)
     if method not in ("auto", "prim"):
-        raise GeometryError(f"unknown MST method {method!r}")
+        raise GeometryError(
+            f"unknown MST method {method!r}; valid methods: auto, prim, "
+            f"kruskal-delaunay"
+        )
     return mst_edges_prim(points)
 
 

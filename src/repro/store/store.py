@@ -92,7 +92,10 @@ class StoreStats:
 
     def count(self, stage: str, counter: str) -> None:
         if counter not in _COUNTER_NAMES:
-            raise ConfigurationError(f"unknown store counter {counter!r}")
+            raise ConfigurationError(
+                f"unknown store counter {counter!r}; valid counters: "
+                f"{', '.join(_COUNTER_NAMES)}"
+            )
         self._stage(stage)[counter] += 1
 
     # ------------------------------------------------------------------

@@ -8,21 +8,26 @@ reproducible end to end.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
 __all__ = ["as_generator", "RngLike"]
 
-RngLike = Union[None, int, np.random.Generator]
+RngLike = Union[
+    None, int, Tuple[int, ...], Sequence[int], np.random.Generator
+]
 
 
 def as_generator(rng: RngLike = None) -> np.random.Generator:
     """Normalise ``rng`` into a :class:`numpy.random.Generator`.
 
-    * ``None``  -> a freshly seeded generator,
-    * ``int``   -> ``np.random.default_rng(seed)``,
-    * generator -> returned unchanged (shared state, by design).
+    * ``None``      -> a freshly seeded generator,
+    * ``int``       -> ``np.random.default_rng(seed)``,
+    * int sequence  -> ``np.random.default_rng(seq)`` (a hierarchical
+      seed: derive per-component streams as ``(base_seed, index)``
+      without collapsing the pair into one collision-prone integer),
+    * generator     -> returned unchanged (shared state, by design).
     """
     if rng is None:
         return np.random.default_rng()
@@ -30,10 +35,17 @@ def as_generator(rng: RngLike = None) -> np.random.Generator:
         return rng
     if isinstance(rng, (int, np.integer)):
         return np.random.default_rng(int(rng))
-    raise TypeError(f"rng must be None, an int seed, or a Generator; got {type(rng)!r}")
+    if isinstance(rng, (tuple, list)) and rng and all(
+        isinstance(part, (int, np.integer)) for part in rng
+    ):
+        return np.random.default_rng([int(part) for part in rng])
+    raise TypeError(
+        f"rng must be None, an int seed, a non-empty tuple of int seeds, "
+        f"or a Generator; got {type(rng)!r}"
+    )
 
 
-def spawn(rng: RngLike, n: int) -> list[np.random.Generator]:
+def spawn(rng: RngLike, n: int) -> List[np.random.Generator]:
     """Derive ``n`` independent child generators from ``rng``."""
     gen = as_generator(rng)
     seeds = gen.integers(0, 2**63 - 1, size=n)

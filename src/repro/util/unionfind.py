@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.errors import ConfigurationError
+
 __all__ = ["UnionFind"]
 
 
@@ -16,7 +18,7 @@ class UnionFind:
 
     def __init__(self, n: int) -> None:
         if n < 0:
-            raise ValueError(f"size must be non-negative, got {n}")
+            raise ConfigurationError(f"size must be non-negative, got {n}")
         self._parent = list(range(n))
         self._rank = [0] * n
         self._count = n

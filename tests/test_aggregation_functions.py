@@ -34,7 +34,9 @@ class TestReferenceEvaluation:
         assert f.aggregate([1.0, 2.0, 3.0, 4.0]) == 2
 
     def test_empty_rejected(self):
-        with pytest.raises(ValueError):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
             SUM.aggregate([])
 
 

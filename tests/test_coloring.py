@@ -131,5 +131,7 @@ class TestMulticoloring:
         assert result.multicolor_rate == pytest.approx(2.0 / 7.0)
 
     def test_rejects_even_cycle(self):
-        with pytest.raises(ValueError):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
             cycle_multicoloring_demo(4)

@@ -148,5 +148,7 @@ class TestLengthClasses:
         assert idx.tolist() == [3, 4]
 
     def test_rejects_bad_lmin(self):
-        with pytest.raises(ValueError):
+        from repro.errors import LinkError
+
+        with pytest.raises(LinkError):
             length_class_index(np.array([1.0]), lmin=0.0)

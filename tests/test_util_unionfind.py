@@ -56,7 +56,9 @@ class TestUnionFind:
         assert len(uf) == 0
 
     def test_negative_size_rejected(self):
-        with pytest.raises(ValueError):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
             UnionFind(-1)
 
     def test_find_is_canonical(self):
