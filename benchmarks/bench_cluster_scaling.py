@@ -1,0 +1,154 @@
+"""CLUSTER — distributed sweep throughput on loopback workers.
+
+The distributed backend (PR 9, ``repro.cluster``) claims two things a
+benchmark can check: adding workers must never change the *output* (the
+JSONL is byte-identical, timing fields aside, to the inline engine), and
+the lease protocol's overhead must stay small enough that loopback
+workers deliver useful throughput.  This bench runs one sweep four ways
+— inline, then through the orchestrator with 1, 2 and 4 real ``repro
+worker`` OS processes — and records cells/s for each leg in
+``BENCH_cluster_scaling.json``.
+
+Caveats recorded rather than hidden: each cluster leg's wall time
+includes worker-process startup (a Python interpreter + numpy import
+apiece) and the per-cell result round-trip, so on a single-core CI host
+the cluster legs are *slower* than inline — the asserted contract is
+parity and lease accounting, not speedup.  Set ``BENCH_SMOKE=1`` for
+the small CI grid.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.runner import SweepEngine, SweepSpec
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+OUT = Path(os.environ.get("BENCH_OUT_DIR", ".")) / "BENCH_cluster_scaling.json"
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+# Simulation frames give each cell real work (~0.1-0.2s at the full
+# sizes), so the per-cell protocol round-trip is measured against a
+# realistic cell, not an empty one.
+SPEC = (
+    SweepSpec(
+        topologies=("grid",), ns=(16, 25), modes=("uniform", "global"),
+        seeds=2, num_frames=50,
+    )
+    if SMOKE
+    else SweepSpec(
+        topologies=("grid",), ns=(100, 144), modes=("uniform", "global"),
+        seeds=6, num_frames=200,
+    )
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+RECORD = {"bench": "cluster_scaling", "smoke": SMOKE}
+
+
+def _canonical_rows(path):
+    rows = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            record = json.loads(line)
+            record["wall_time_s"] = 0.0
+            rows.append(json.dumps(record, sort_keys=True))
+    return rows
+
+
+def _free_port():
+    import socket  # loopback bench plumbing, not library code
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _spawn_worker(address):
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "worker", address],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _cluster_leg(out_path, num_workers):
+    """One cluster sweep: orchestrator + ``num_workers`` OS processes."""
+    port = _free_port()
+    engine = SweepEngine(
+        SPEC,
+        out_path=out_path,
+        cluster=f"127.0.0.1:{port}",
+        cluster_batch=2,
+    )
+    report_box = {}
+    start = time.perf_counter()
+    thread = threading.Thread(
+        target=lambda: report_box.update(report=engine.run())
+    )
+    thread.start()
+    workers = [_spawn_worker(f"127.0.0.1:{port}") for _ in range(num_workers)]
+    thread.join(timeout=600)
+    seconds = time.perf_counter() - start
+    assert not thread.is_alive(), f"cluster leg ({num_workers} workers) hung"
+    for proc in workers:
+        proc.wait(timeout=60)
+    return report_box["report"], seconds
+
+
+def test_cluster_scaling(tmp_path, emit):
+    cells = SPEC.num_cells
+    inline_path = tmp_path / "inline.jsonl"
+    start = time.perf_counter()
+    SweepEngine(SPEC, out_path=inline_path).run()
+    inline_s = time.perf_counter() - start
+    reference = _canonical_rows(inline_path)
+
+    legs = {"inline": {"workers": 0, "wall_time_s": round(inline_s, 3),
+                       "cells_per_s": round(cells / inline_s, 2)}}
+    lines = [f"inline:    {inline_s:>6.2f}s  {cells / inline_s:>6.2f} cells/s"]
+
+    for num_workers in WORKER_COUNTS:
+        out_path = tmp_path / f"workers{num_workers}.jsonl"
+        report, seconds = _cluster_leg(out_path, num_workers)
+        stats = report.cluster_stats
+        # The scaling contract: more workers never changes the output.
+        assert _canonical_rows(out_path) == reference, num_workers
+        assert stats["results_accepted"] == cells, stats
+        # A worker that boots after the sweep drains never says hello,
+        # so the count seen is a lower-bounded record, not an equality.
+        assert 1 <= len(stats["workers"]) <= num_workers, stats
+        assert stats["duplicate_results"] == 0, stats
+        legs[f"workers-{num_workers}"] = {
+            "workers": num_workers,
+            "workers_seen": len(stats["workers"]),
+            "wall_time_s": round(seconds, 3),
+            "cells_per_s": round(cells / seconds, 2),
+            "leases_granted": stats["leases_granted"],
+            "reassignments": stats["reassignments"],
+        }
+        lines.append(
+            f"{num_workers} worker{'s' if num_workers > 1 else ' '}: "
+            f"{seconds:>6.2f}s  {cells / seconds:>6.2f} cells/s  "
+            f"({stats['leases_granted']} leases)"
+        )
+
+    RECORD["cells"] = cells
+    RECORD["spec"] = {"ns": list(SPEC.ns), "modes": list(SPEC.modes),
+                      "seeds": SPEC.seeds, "num_frames": SPEC.num_frames}
+    RECORD["legs"] = legs
+    OUT.write_text(json.dumps(RECORD, indent=2, sort_keys=True) + "\n")
+
+    emit(
+        f"CLUSTER scaling ({cells} cells, smoke={SMOKE})",
+        lines + [f"wrote {OUT}"],
+    )

@@ -59,13 +59,16 @@ from repro.core import (
     predicted_slots_global,
     predicted_slots_oblivious,
 )
+from repro.cluster import Orchestrator, Worker
 from repro.errors import (
+    ClusterError,
     ConfigurationError,
     ConstructionError,
     GeometryError,
     InfeasibleError,
     JobError,
     LinkError,
+    ProtocolError,
     ReproError,
     ScheduleError,
     SimulationError,
@@ -117,6 +120,7 @@ __all__ = [
     "AggregationTree",
     "COUNT",
     "CellResult",
+    "ClusterError",
     "ConfigurationError",
     "ConflictGraph",
     "ConstructionError",
@@ -142,10 +146,12 @@ __all__ = [
     "MstSuboptimalFamily",
     "NumericBackend",
     "ObliviousPower",
+    "Orchestrator",
     "Pipeline",
     "PipelineConfig",
     "PointSet",
     "PowerMode",
+    "ProtocolError",
     "RecursiveLogStarInstance",
     "Registry",
     "ReproError",
@@ -164,6 +170,7 @@ __all__ = [
     "SweepReport",
     "SweepSpec",
     "UniformPower",
+    "Worker",
     "__version__",
     "arbitrary_graph",
     "cluster_points",

@@ -15,6 +15,7 @@ SHM-001               shared-memory segments have coordinator-owned
 ERR-001               raises derive from ReproError; unknown-name errors
                       list valid choices
 REG-001               registered components are documented
+NET-001               raw sockets stay behind cluster/transport.py
 ====================  ==================================================
 """
 
@@ -471,4 +472,61 @@ def _reg_001(ctx: ModuleContext) -> Iterator[tuple]:
                     node,
                     f"registered component {name!r} is defined here without "
                     "a docstring or description",
+                )
+
+
+# ----------------------------------------------------------------------
+# NET-001 — sockets stay behind the cluster transport
+# ----------------------------------------------------------------------
+#: Socket-module entry points that open raw connections or listeners.
+_RAW_SOCKET_CALLS = {
+    "socket.socket",
+    "socket.create_connection",
+    "socket.create_server",
+    "socket.socketpair",
+    "socket.fromfd",
+}
+
+
+@register_lint_rule(
+    "NET-001",
+    title="raw sockets stay behind cluster/transport.py",
+    description=(
+        "Imports of the socket module, raw socket constructors "
+        "(socket.socket, create_connection, create_server, socketpair, "
+        "fromfd) and asyncio.open_connection are reserved to "
+        "cluster/transport.py: every other module speaks the framed, "
+        "schema-versioned message protocol through FrameConnection / "
+        "FrameServer, so timeouts, reconnect backoff and the frame-size "
+        "guard cannot be bypassed."
+    ),
+    contract="PR 9 distributed sweep service (one wire, one framing)",
+    fix_hint="use repro.cluster.transport (FrameConnection/FrameServer) "
+    "instead of raw sockets",
+    exempt=("cluster/transport.py",),
+)
+def _net_001(ctx: ModuleContext) -> Iterator[tuple]:
+    """Flag socket imports and raw connection/listener constructors."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "socket" or item.name.startswith("socket."):
+                    yield node, "import of the raw socket module"
+        elif isinstance(node, ast.ImportFrom):
+            if not node.level and node.module and (
+                node.module == "socket" or node.module.startswith("socket.")
+            ):
+                yield node, "import from the raw socket module"
+        elif isinstance(node, ast.Call):
+            name = ctx.dotted_name(node.func)
+            if name is None:
+                continue
+            if name in _RAW_SOCKET_CALLS:
+                yield node, (
+                    f"raw socket constructor {name} outside the cluster "
+                    "transport"
+                )
+            elif name == "asyncio.open_connection":
+                yield node, (
+                    "asyncio.open_connection outside the cluster transport"
                 )

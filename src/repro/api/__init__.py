@@ -79,6 +79,11 @@ from repro.backend import (
     resolve_backend,
 )
 
+# Also after backend: the distributed-sweep surface reaches back into
+# repro.jobs, whose service module needs the config/pipeline modules
+# already importable.
+from repro.cluster import Orchestrator, ServeApp, Worker
+
 __all__ = [
     "EpochResult",
     "Finding",
@@ -86,6 +91,7 @@ __all__ = [
     "LintRule",
     "MeasurementContext",
     "NumericBackend",
+    "Orchestrator",
     "Pipeline",
     "PipelineConfig",
     "PowerSchemeSpec",
@@ -95,9 +101,11 @@ __all__ = [
     "ScenarioRunner",
     "ScenarioSpec",
     "SchedulerSpec",
+    "ServeApp",
     "SimulationResult",
     "TopologySpec",
     "TreeSpec",
+    "Worker",
     "lint_paths",
     "lint_rules",
     "lint_source",

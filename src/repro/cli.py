@@ -18,6 +18,11 @@ through the :class:`~repro.jobs.JobService`.
 ``cache``      — inspect or clear an on-disk stage cache directory.
 ``lint``       — run reprolint, the AST-based invariant linter
 (:mod:`repro.analysis`), over source paths; exit 2 on error findings.
+``worker``     — join a distributed sweep as a cluster worker: lease
+cell batches from an orchestrator (``repro sweep --cluster``), run them
+through a local job service, stream results back.
+``serve``      — run the HTTP/JSONL job service: submit sweeps as
+long-lived jobs, poll status, stream result rows, cancel.
 
 Every ``choices=`` list is derived from the component registries
 (:mod:`repro.api`), so registering a topology, tree builder, power
@@ -274,6 +279,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk stage cache: deployments/trees/schedules persist "
         "here and are reused across runs",
     )
+    p_sweep.add_argument(
+        "--cluster",
+        default=None,
+        metavar="HOST:PORT",
+        help="run on the distributed backend: bind the sweep orchestrator "
+        "at this address and lease cells to 'repro worker' processes "
+        "(--jobs/--transport then apply inside each worker, not here)",
+    )
+    p_sweep.add_argument(
+        "--cluster-batch",
+        type=int,
+        default=4,
+        help="cells per worker lease on the cluster backend",
+    )
+    p_sweep.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="seconds before an un-heartbeated cluster lease is "
+        "reassigned to another worker",
+    )
 
     p_scenario = sub.add_parser(
         "scenario",
@@ -320,6 +346,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_scenario.add_argument(
         "--cache-dir", default=None, help="on-disk stage cache directory"
+    )
+    p_scenario.add_argument(
+        "--transport",
+        choices=("auto", "shm", "disk"),
+        default="auto",
+        help="stage-artifact transport of the backing job service: "
+        "shared memory when available (auto), required (shm), or the "
+        "disk tier only (disk)",
     )
 
     p_batch = sub.add_parser(
@@ -382,6 +416,55 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the registered rules and exit",
     )
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a distributed sweep as a cluster worker",
+        description="Connect to a sweep orchestrator (started by 'repro "
+        "sweep --cluster HOST:PORT'), lease cell batches, run them through "
+        "a local job service, and stream the results back.  Exits when the "
+        "orchestrator reports the sweep complete.",
+    )
+    p_worker.add_argument(
+        "address", metavar="HOST:PORT", help="the orchestrator's address"
+    )
+    p_worker.add_argument(
+        "--id",
+        dest="worker_id",
+        default=None,
+        help="worker identity used in leases/heartbeats "
+        "(default: <hostname>-<pid>)",
+    )
+    p_worker.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk stage cache; point workers at a shared mount to "
+        "share the disk tier across hosts",
+    )
+    p_worker.add_argument(
+        "--transport",
+        choices=("auto", "shm", "disk"),
+        default="auto",
+        help="stage-artifact transport of the worker's local job service",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the HTTP/JSONL sweep job service",
+        description="Serve sweeps as long-lived jobs over a minimal HTTP "
+        "API: POST /jobs submits a SweepSpec dict, GET /jobs/<id> polls "
+        "status, GET /jobs/<id>/stream follows result rows as JSONL, "
+        "POST /jobs/<id>/cancel stops a job.  Each job runs a normal "
+        "sweep engine in its own process, writing resumable JSONL under "
+        "the spool directory.",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=8123, help="bind port")
+    p_serve.add_argument(
+        "--spool-dir",
+        default=".repro-serve",
+        help="directory holding one results.jsonl per submitted job",
+    )
     return parser
 
 
@@ -410,7 +493,16 @@ def _run_sweep(args: argparse.Namespace) -> int:
         resume=not args.no_resume,
         cache_dir=args.cache_dir,
         transport=args.transport,
+        cluster=args.cluster,
+        cluster_batch=args.cluster_batch,
+        lease_ttl_s=args.lease_ttl,
     )
+    if args.cluster:
+        print(
+            f"cluster orchestrator listening on {args.cluster} "
+            f"(batch={args.cluster_batch}, lease-ttl={args.lease_ttl:g}s); "
+            f"start workers with: repro worker {args.cluster}"
+        )
     report = engine.run()
     keys = ("topology", "n", "mode")
     if len(spec.trees) > 1:
@@ -423,6 +515,15 @@ def _run_sweep(args: argparse.Namespace) -> int:
     print(report.table(keys))
     if report.store_stats:
         print(_store_stats_line(report.store_stats))
+    if report.cluster_stats:
+        cs = report.cluster_stats
+        print(
+            f"cluster: {len(cs['workers'])} worker"
+            f"{'s' if len(cs['workers']) != 1 else ''}, "
+            f"{cs['leases_granted']} leases, "
+            f"{cs['reassignments']} reassigned, "
+            f"{cs['duplicate_results']} duplicate results"
+        )
     if args.out:
         print(f"wrote {len(report.results)} records to {args.out}")
     return 0
@@ -447,6 +548,7 @@ def _store_stats_line(stats: dict) -> str:
 
 
 def _run_scenario(args: argparse.Namespace) -> int:
+    from repro.jobs import JobService
     from repro.scenarios.runner import ScenarioRunner
     from repro.store.store import StageStore
 
@@ -473,18 +575,21 @@ def _run_scenario(args: argparse.Namespace) -> int:
         num_frames=args.frames,
         backend=args.backend,
     )
-    kwargs = {}
-    if args.cache_dir:
-        kwargs["store"] = StageStore(disk=args.cache_dir)
-    runner = ScenarioRunner(
-        config,
-        args.name,
-        epochs=args.epochs,
-        params=params,
-        scenario_seed=args.scenario_seed,
-        **kwargs,
-    )
-    result = runner.run()
+    store = StageStore(disk=args.cache_dir) if args.cache_dir else None
+    # Route the run through an inline JobService so --transport gets the
+    # same eager validation (and future shm reuse) the sweep path has;
+    # with the default transport this is behaviourally identical to
+    # constructing the runner directly.
+    with JobService(store=store, transport=args.transport) as service:
+        runner = ScenarioRunner(
+            config,
+            args.name,
+            epochs=args.epochs,
+            params=params,
+            scenario_seed=args.scenario_seed,
+            store=service.store,
+        )
+        result = runner.run()
     print(result.summary())
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as fh:
@@ -602,9 +707,37 @@ def _run_lint(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+def _run_worker(args: argparse.Namespace) -> int:
+    from repro.cluster import Worker, parse_address
+
+    host, port = parse_address(args.address)
+    worker = Worker(
+        host,
+        port,
+        worker_id=args.worker_id,
+        cache_dir=args.cache_dir,
+        jobs_transport=args.transport,
+    )
+    print(f"worker {worker.worker_id} joining sweep at {host}:{port}")
+    completed = worker.run()
+    print(f"worker {worker.worker_id} done: {completed} cells completed")
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.cluster import serve_forever
+
+    serve_forever(host=args.host, port=args.port, spool_dir=args.spool_dir)
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "worker":
+        return _run_worker(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "sweep":
         return _run_sweep(args)
     if args.command == "scenario":

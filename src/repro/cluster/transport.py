@@ -1,0 +1,307 @@
+"""Length-prefixed frame transport over stdlib sockets.
+
+This is the *only* module in the library allowed to touch raw sockets
+(reprolint rule NET-001 enforces that, the same way BACKEND-001 pins
+``numpy`` imports to the backend layer).  Everything above it — the
+orchestrator, the worker, the serve front-end — deals in message dicts
+from :mod:`repro.cluster.protocol`.
+
+Framing is deliberately boring: each frame is a 4-byte big-endian
+length followed by that many bytes of UTF-8 JSON.  A frame larger than
+:data:`MAX_FRAME_BYTES` is rejected before allocation, so a corrupt
+length prefix cannot make a peer swallow gigabytes.
+
+Alternate transports (e.g. pyzmq) plug in behind the same three
+callables via :data:`TRANSPORTS` — register a ``Transport`` under a new
+name and ``resolve_transport("zmq")`` hands it to the orchestrator and
+worker unchanged.  Only the default ``"socket"`` transport ships,
+because it is the only one the container can test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.cluster.protocol import validate_message
+from repro.errors import ClusterError, ConfigurationError, ProtocolError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameConnection",
+    "FrameServer",
+    "Transport",
+    "connect",
+    "read_frame_async",
+    "resolve_transport",
+    "write_frame_async",
+]
+
+#: Upper bound on one frame's JSON payload; a sweep cell or result row
+#: is a few hundred bytes, so 32 MiB is beyond generous and small
+#: enough that a garbled length prefix fails fast.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def _encode_frame(message: Dict[str, Any]) -> bytes:
+    payload = json.dumps(message, sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"outgoing frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable cluster frame: {exc}") from None
+    return validate_message(message)
+
+
+class FrameConnection:
+    """One framed, message-oriented connection.
+
+    Thread-safe for the request/reply discipline the protocol uses: a
+    lock serialises whole ``request()`` exchanges, so the heartbeat
+    thread and the lease loop can share a connection without
+    interleaving frames.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def send(self, message: Dict[str, Any], *, timeout: Optional[float] = None) -> None:
+        """Write one frame; raises :class:`ClusterError` on a dead peer."""
+        frame = _encode_frame(message)
+        try:
+            self._sock.settimeout(timeout)
+            self._sock.sendall(frame)
+        except (OSError, ValueError) as exc:
+            raise ClusterError(f"cluster send failed: {exc}") from None
+
+    def recv(self, *, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Read one frame; raises :class:`ClusterError` on EOF/timeout."""
+        try:
+            self._sock.settimeout(timeout)
+            header = self._recv_exact(_LENGTH.size)
+            (length,) = _LENGTH.unpack(header)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"incoming frame of {length} bytes exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte frame limit"
+                )
+            payload = self._recv_exact(length)
+        except socket.timeout:
+            raise ClusterError(
+                f"cluster recv timed out after {timeout}s"
+            ) from None
+        except OSError as exc:
+            raise ClusterError(f"cluster recv failed: {exc}") from None
+        return _decode_payload(payload)
+
+    def request(
+        self, message: Dict[str, Any], *, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """One send + one recv, atomically with respect to other threads."""
+        with self._lock:
+            self.send(message, timeout=timeout)
+            return self.recv(timeout=timeout)
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ClusterError("cluster peer closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "FrameConnection":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def connect(
+    host: str,
+    port: int,
+    *,
+    timeout: float = 5.0,
+    retries: int = 5,
+    backoff_s: float = 0.1,
+) -> FrameConnection:
+    """Dial a frame peer with exponential-backoff reconnect.
+
+    Tries ``retries + 1`` times, sleeping ``backoff_s * 2**attempt``
+    between failures, then raises :class:`ClusterError` carrying the
+    last OS error.
+    """
+    last_error: Optional[Exception] = None
+    for attempt in range(retries + 1):
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return FrameConnection(sock)
+        except OSError as exc:
+            last_error = exc
+            if attempt < retries:
+                time.sleep(backoff_s * (2**attempt))
+    raise ClusterError(
+        f"cannot reach cluster peer at {host}:{port} after "
+        f"{retries + 1} attempts: {last_error}"
+    ) from None
+
+
+class FrameServer:
+    """A threaded accept loop handing each connection to a callback.
+
+    The handler runs on a daemon thread per connection and receives a
+    :class:`FrameConnection` plus the peer address; it owns the
+    connection's lifetime.  ``port=0`` binds an ephemeral port, read
+    back from :attr:`address` — tests and same-host quick-starts never
+    need to guess a free port.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[FrameConnection, Tuple[str, int]], None],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._handler = handler
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(64)
+        self.address: Tuple[str, int] = self._sock.getsockname()[:2]
+        self._stopping = threading.Event()
+        self._thread = threading.Thread(
+            target=self._accept_loop, name="repro-cluster-accept", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _accept_loop(self) -> None:
+        self._sock.settimeout(0.2)
+        while not self._stopping.is_set():
+            try:
+                client, peer = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            thread = threading.Thread(
+                target=self._handler,
+                args=(FrameConnection(client), peer[:2]),
+                name=f"repro-cluster-conn-{peer[0]}:{peer[1]}",
+                daemon=True,
+            )
+            thread.start()
+
+    def stop(self) -> None:
+        self._stopping.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        if self._thread.is_alive():
+            self._thread.join(timeout=2.0)
+
+    def __enter__(self) -> "FrameServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# asyncio variants (used by repro serve's JSONL streaming endpoints)
+# ----------------------------------------------------------------------
+async def read_frame_async(reader: asyncio.StreamReader) -> Dict[str, Any]:
+    """Read one validated frame from an asyncio stream."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+        (length,) = _LENGTH.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"incoming frame of {length} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte frame limit"
+            )
+        payload = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, OSError) as exc:
+        raise ClusterError(f"cluster recv failed: {exc}") from None
+    return _decode_payload(payload)
+
+
+async def write_frame_async(
+    writer: asyncio.StreamWriter, message: Dict[str, Any]
+) -> None:
+    """Write one frame to an asyncio stream and drain."""
+    writer.write(_encode_frame(message))
+    try:
+        await writer.drain()
+    except OSError as exc:
+        raise ClusterError(f"cluster send failed: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# Transport seam
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Transport:
+    """The three callables a cluster peer needs from a transport.
+
+    ``connect(host, port, **kw)`` dials and returns a
+    :class:`FrameConnection`-shaped object; ``serve(handler, host=...,
+    port=...)`` returns a :class:`FrameServer`-shaped object.  A zmq
+    transport registers the same shape under ``"zmq"`` without the rest
+    of the subsystem noticing.
+    """
+
+    name: str
+    connect: Callable[..., FrameConnection]
+    serve: Callable[..., FrameServer]
+
+
+TRANSPORTS: Dict[str, Transport] = {
+    "socket": Transport(name="socket", connect=connect, serve=FrameServer),
+}
+
+
+def resolve_transport(name: str = "socket") -> Transport:
+    """Look up a registered cluster transport by name."""
+    try:
+        return TRANSPORTS[name]
+    except KeyError:
+        valid = ", ".join(sorted(TRANSPORTS))
+        raise ConfigurationError(
+            f"unknown cluster transport {name!r}; valid transports: {valid}"
+        ) from None

@@ -440,6 +440,12 @@ class JobService:
     # ------------------------------------------------------------------
     # Stats and lifecycle
     # ------------------------------------------------------------------
+    @property
+    def store(self) -> Optional[StageStore]:
+        """The inline backend's stage store (``None`` for a pool —
+        each worker process owns a private store there)."""
+        return self._store
+
     def _count(self, delta: Dict) -> None:
         StoreStats.merge(self._stats_total, delta)
 

@@ -34,6 +34,7 @@ BUILTIN_RULES = (
     "SHM-001",
     "ERR-001",
     "REG-001",
+    "NET-001",
 )
 
 
@@ -365,6 +366,50 @@ class TestReg001:
 
 
 # ----------------------------------------------------------------------
+# NET-001
+# ----------------------------------------------------------------------
+class TestNet001:
+    def test_flags_socket_imports(self):
+        assert rule_ids(lint_source("import socket\n", path="m.py")) == ["NET-001"]
+        assert rule_ids(
+            lint_source("from socket import create_connection\n", path="m.py")
+        ) == ["NET-001"]
+
+    def test_flags_raw_constructors_via_alias(self):
+        src = (
+            "import socket as sock  # reprolint: disable=NET-001\n"
+            "s = sock.socket()\n"
+            "c = sock.create_connection(('h', 1))\n"
+        )
+        assert rule_ids(lint_source(src, path="jobs/service.py")) == [
+            "NET-001",
+            "NET-001",
+        ]
+
+    def test_flags_asyncio_open_connection(self):
+        src = (
+            "import asyncio\n"
+            "async def dial():\n"
+            "    return await asyncio.open_connection('h', 80)\n"
+        )
+        assert rule_ids(lint_source(src, path="m.py")) == ["NET-001"]
+
+    def test_asyncio_start_server_is_allowed(self):
+        # serve.py's listener path is deliberately outside the ban: it
+        # accepts connections, it does not originate raw ones.
+        src = (
+            "import asyncio\n"
+            "async def listen(handler):\n"
+            "    return await asyncio.start_server(handler, 'h', 80)\n"
+        )
+        assert lint_source(src, path="cluster/serve.py") == []
+
+    def test_cluster_transport_is_exempt(self):
+        src = "import socket\ns = socket.socket()\n"
+        assert lint_source(src, path="src/repro/cluster/transport.py") == []
+
+
+# ----------------------------------------------------------------------
 # Suppression mechanism
 # ----------------------------------------------------------------------
 class TestSuppression:
@@ -493,6 +538,8 @@ FIXTURE_SOURCE = (
     "\n"
     "g = np.random.default_rng(7)\n"
     "raise ValueError('boom')\n"
+    "import socket\n"
+    "s = socket.create_connection(('host', 1))\n"
 )
 
 
@@ -511,7 +558,7 @@ class TestJsonSchema:
         data = fixture_report().to_json_dict()
         assert data["schema_version"] == LINT_SCHEMA_VERSION
         assert data["files_checked"] == 1
-        assert data["errors"] == 2 and data["warnings"] == 0
+        assert data["errors"] == 4 and data["warnings"] == 0
         for row in data["findings"]:
             assert set(row) == {
                 "path", "line", "col", "rule", "severity", "message", "fix_hint",
@@ -544,6 +591,7 @@ class TestCli:
         assert code == 2
         assert f"{bad.as_posix()}:3:" in out and "RNG-001" in out
         assert f"{bad.as_posix()}:4:" in out and "ERR-001" in out
+        assert f"{bad.as_posix()}:5:" in out and "NET-001" in out
 
     def test_json_output(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
@@ -552,7 +600,11 @@ class TestCli:
         assert code == 2
         data = json.loads(out)
         assert data["schema_version"] == LINT_SCHEMA_VERSION
-        assert {row["rule"] for row in data["findings"]} == {"RNG-001", "ERR-001"}
+        assert {row["rule"] for row in data["findings"]} == {
+            "RNG-001",
+            "ERR-001",
+            "NET-001",
+        }
 
     def test_select_restricts_rules(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
