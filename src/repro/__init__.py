@@ -64,6 +64,7 @@ from repro.errors import (
     ClusterError,
     ConfigurationError,
     ConstructionError,
+    DegenerateLinkError,
     GeometryError,
     InfeasibleError,
     JobError,
@@ -125,6 +126,7 @@ __all__ = [
     "ConflictGraph",
     "ConstructionError",
     "ConvergecastResult",
+    "DegenerateLinkError",
     "DistributedSchedulingSimulator",
     "DoublyExponentialChain",
     "Finding",

@@ -34,15 +34,41 @@ Two capability flags shape orchestration:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+)
 
 import numpy as np
+
+from repro.util.parallel import map_blocks_ordered
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.links.linkset import LinkSet
     from repro.sinr.kernels import KernelCache
 
-__all__ = ["NumericBackend"]
+__all__ = ["CandidateSource", "NumericBackend", "map_blocks_ordered"]
+
+
+class CandidateSource(Protocol):
+    """A source of ``(rows, cols)`` block pairs that *may* contain edges.
+
+    The spatial-pruning contract: any global index pair ``(i, j)`` that
+    is adjacent in the conflict graph MUST appear in at least one
+    yielded block pair, and no pair may appear in more than one (each
+    tile is evaluated exactly once).  The canonical implementation is
+    :class:`repro.geometry.spatial.GridCandidateGenerator`.
+    """
+
+    def pairs(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield candidate ``(rows, cols)`` global-index block pairs."""
+        ...
 
 
 class NumericBackend:
@@ -170,23 +196,55 @@ class NumericBackend:
     # ------------------------------------------------------------------
     # Conflict adjacency
     # ------------------------------------------------------------------
+    def _adjacency_pairs(
+        self,
+        cache: "KernelCache",
+        candidates: Optional[CandidateSource],
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Tile list for adjacency assembly: the candidate source's
+        pairs when pruning, else every row-block x col-block tile.
+
+        The unpruned path is tile-granular too (not row strips), so
+        ``KernelStats.block_evals`` counts the same unit of work either
+        way and pruned-vs-unpruned comparisons are apples-to-apples.
+        """
+        if candidates is not None:
+            return list(candidates.pairs())
+        blocks = list(cache.iter_blocks(np.arange(cache.n)))
+        return [(rows, cols) for rows in blocks for cols in blocks]
+
     def assemble_adjacency(
         self,
         cache: "KernelCache",
         block_fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        candidates: Optional[CandidateSource] = None,
     ) -> Any:
-        """Assemble the conflict adjacency from boolean row blocks.
+        """Assemble the conflict adjacency from boolean blocks.
 
         ``block_fn(rows, cols)`` returns the boolean adjacency block for
         the given global indices (diagonal already cleared).  Dense
         backends fill an ``n x n`` boolean matrix; sparse backends
         return a :class:`~repro.backend.sparse.SparseAdjacency`.
+
+        ``candidates`` is the spatial-pruning seam: when given, only its
+        block pairs are evaluated and every other tile is left at the
+        zero-initialised default — sound because a conservative
+        candidate source covers all edges, and bit-identical because a
+        skipped tile is exactly all-``False``.  Tiles are evaluated with
+        ``cache.block_workers`` threads via :func:`map_blocks_ordered`,
+        which preserves the serial tile order.
         """
         n = cache.n
-        cols = np.arange(n)
-        adjacent = np.empty((n, n), dtype=bool)
-        for rows in cache.iter_blocks(cols):
-            adjacent[rows] = block_fn(rows, cols)
+        adjacent = np.zeros((n, n), dtype=bool)
+        tiles = self._adjacency_pairs(cache, candidates)
+
+        def build(tile: Tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+            return block_fn(tile[0], tile[1])
+
+        for (rows, cols), block in map_blocks_ordered(
+            build, tiles, cache.block_workers
+        ):
+            adjacent[np.ix_(rows, cols)] = block
         return adjacent
 
     # ------------------------------------------------------------------

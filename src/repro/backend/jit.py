@@ -11,6 +11,12 @@ Bit-identity note: the compiled loops perform the same scalar float64
 operations (``sqrt``, ``pow``, ``min``) in the same per-entry order as
 the vectorised numpy expressions, so results are bitwise identical —
 ``fastmath`` stays off precisely to preserve that.
+
+Adjacency assembly (including the spatial candidate-pruning seam and
+``block_workers`` parallelism) is inherited from
+:class:`~repro.backend.dense.DenseNumpyBackend` unchanged: the jitted
+builders accelerate each ``gap_block`` call, and pruning/parallelism
+compose with them at the tile level.
 """
 
 from __future__ import annotations

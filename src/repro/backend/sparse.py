@@ -22,10 +22,11 @@ exports a ``csr_matrix`` when scipy is installed.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, List
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.backend.base import CandidateSource, map_blocks_ordered
 from repro.backend.dense import DenseNumpyBackend
 from repro.errors import ConfigurationError
 
@@ -136,21 +137,36 @@ class BlockedSparseBackend(DenseNumpyBackend):
         self,
         cache: "KernelCache",
         block_fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        candidates: Optional[CandidateSource] = None,
     ) -> SparseAdjacency:
         n = cache.n
-        cols = np.arange(n)
-        counts = np.zeros(n, dtype=np.int64)
-        chunks: List[np.ndarray] = []
-        for rows in cache.iter_blocks(cols):
-            block = block_fn(rows, cols)
-            # np.nonzero is row-major, so concatenated chunks stay in
-            # global row order and each row's columns stay sorted.
-            local_rows, edge_cols = np.nonzero(block)
-            counts[rows] = np.bincount(local_rows, minlength=rows.size)
-            chunks.append(edge_cols.astype(np.int64, copy=False))
-        indices = (
-            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
-        )
+        tiles = self._adjacency_pairs(cache, candidates)
+        row_chunks: List[np.ndarray] = []
+        col_chunks: List[np.ndarray] = []
+
+        def build(tile: Tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+            return block_fn(tile[0], tile[1])
+
+        for (rows, cols), block in map_blocks_ordered(
+            build, tiles, cache.block_workers
+        ):
+            local_rows, local_cols = np.nonzero(block)
+            if local_rows.size:
+                row_chunks.append(rows[local_rows].astype(np.int64, copy=False))
+                col_chunks.append(cols[local_cols].astype(np.int64, copy=False))
+        if row_chunks:
+            edge_rows = np.concatenate(row_chunks)
+            edge_cols = np.concatenate(col_chunks)
+            # Canonicalise the COO chunks to CSR order (rows ascending,
+            # columns sorted within each row); each global (i, j) lives
+            # in exactly one tile, so no duplicate handling is needed.
+            order = np.lexsort((edge_cols, edge_rows))
+            edge_rows = edge_rows[order]
+            indices = edge_cols[order]
+            counts = np.bincount(edge_rows, minlength=n).astype(np.int64)
+        else:
+            indices = np.empty(0, dtype=np.int64)
+            counts = np.zeros(n, dtype=np.int64)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
         return SparseAdjacency(indptr, indices)

@@ -98,8 +98,9 @@ class Orchestrator:
         lock the first time each cell's result is accepted.
     lease_ttl_s / batch_size / heartbeat_interval_s:
         Lease deadline, cells per lease, and the cadence advertised to
-        workers in ``welcome`` (workers heartbeat at half the TTL when
-        not told otherwise).
+        workers in ``welcome`` (a third of the TTL when not told
+        otherwise, so a worker that misses one beat still has two full
+        heartbeats of margin before its lease expires).
     host / port / transport:
         Bind address (``port=0`` picks an ephemeral port, read back
         from :attr:`address`) and transport name.

@@ -208,7 +208,11 @@ class FrameServer:
         self._thread.start()
 
     def _accept_loop(self) -> None:
-        self._sock.settimeout(0.2)
+        try:
+            self._sock.settimeout(0.2)
+        except OSError:
+            # stop() may close the socket before this thread first runs.
+            return
         while not self._stopping.is_set():
             try:
                 client, peer = self._sock.accept()

@@ -42,6 +42,27 @@ class ThresholdFunction(abc.ABC):
         """Evaluate at a single point."""
         return float(self(np.asarray([x], dtype=float))[0])
 
+    def max_radius(self, lengths: np.ndarray) -> float:
+        """Conservative upper bound on the conflict radius over ``lengths``.
+
+        Two links conflict only when ``d(i, j) <= l_min * f(l_max/l_min)``,
+        so for any pair drawn from ``lengths`` the gap distance of a
+        conflicting pair is at most this bound.  It is the contract the
+        grid-bucket candidate generator
+        (:mod:`repro.geometry.spatial`) relies on: link pairs farther
+        apart than ``max_radius`` need never be evaluated.
+
+        The default exploits only the class contract (``f`` positive and
+        non-decreasing): ``l_min * f(l_max/l_min) <= L_max * f(Delta)``
+        with ``L_max = max(lengths)`` and diversity
+        ``Delta = L_max / L_min``.  Subclasses override it with tighter
+        per-threshold bounds.
+        """
+        lengths = np.asarray(lengths, dtype=float)
+        lmax = float(lengths.max())
+        lmin = float(lengths.min())
+        return lmax * self.scalar(lmax / lmin)
+
 
 class ConstantThreshold(ThresholdFunction):
     """``f(x) = gamma``: the graph ``G_gamma``; ``gamma = 1`` is the
@@ -55,6 +76,11 @@ class ConstantThreshold(ThresholdFunction):
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return np.full_like(np.asarray(x, dtype=float), self.gamma)
+
+    def max_radius(self, lengths: np.ndarray) -> float:
+        """``gamma * L_max``: the pair bound ``l_min * gamma`` is largest
+        when the shorter link is as long as possible."""
+        return self.gamma * float(np.asarray(lengths, dtype=float).max())
 
     def __repr__(self) -> str:
         return f"ConstantThreshold(gamma={self.gamma})"
@@ -76,6 +102,16 @@ class PowerLawThreshold(ThresholdFunction):
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.gamma * np.asarray(x, dtype=float) ** self.delta
+
+    def max_radius(self, lengths: np.ndarray) -> float:
+        """``gamma * L_max``, independent of the diversity.
+
+        The pair bound is ``gamma * l_min^(1-delta) * l_max^delta``,
+        which with ``0 < delta < 1`` and ``l_min <= l_max <= L_max`` is
+        at most ``gamma * L_max`` — far tighter than the generic
+        ``L_max * f(Delta)`` bound when lengths are diverse.
+        """
+        return self.gamma * float(np.asarray(lengths, dtype=float).max())
 
     def __repr__(self) -> str:
         return f"PowerLawThreshold(gamma={self.gamma}, delta={self.delta})"
@@ -100,6 +136,17 @@ class LogThreshold(ThresholdFunction):
         x = np.asarray(x, dtype=float)
         logs = np.log2(np.maximum(x, 1.0))
         return self.gamma * np.maximum(1.0, logs**self.exponent)
+
+    def max_radius(self, lengths: np.ndarray) -> float:
+        """``gamma * L_max * max(1, log2(Delta)^(2/(alpha-2)))``.
+
+        For any pair, ``l_min <= L_max`` and ``l_max/l_min <= Delta``,
+        and the log factor is non-decreasing, so the product bounds
+        every pair's ``l_min * f(l_max/l_min)``.
+        """
+        lengths = np.asarray(lengths, dtype=float)
+        lmax = float(lengths.max())
+        return lmax * self.scalar(lmax / float(lengths.min()))
 
     def __repr__(self) -> str:
         return f"LogThreshold(gamma={self.gamma}, alpha={self.alpha})"

@@ -9,6 +9,14 @@ adjacency matrix; sparse backends (``blocked-sparse``) assemble a CSR
 array is ever allocated — the path that makes 100k-link conflict graphs
 fit in memory.  All query methods (``neighbors``, ``degree``,
 ``is_independent``, ...) work identically on both representations.
+
+Blockwise builds are *spatially pruned* by default: conflicts only
+exist within the threshold's conservative conflict radius
+(:meth:`~repro.conflict.functions.ThresholdFunction.max_radius`), so a
+grid-bucket candidate generator (:mod:`repro.geometry.spatial`) skips
+every block pair that provably contains no edge.  Pruning is
+conservative and bit-identical — the edge set is byte-equal to the
+unpruned build — and can be disabled with ``prune=False``.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from repro.conflict.functions import (
 )
 from repro.constants import DEFAULT_DELTA, DEFAULT_GAMMA
 from repro.errors import ConfigurationError
+from repro.geometry.spatial import conflict_candidates
 from repro.links.linkset import LinkSet
 
 __all__ = ["ConflictGraph", "g1_graph", "oblivious_graph", "arbitrary_graph"]
@@ -40,11 +49,25 @@ class ConflictGraph:
         The link set (vertex ``i`` is ``links`` entry ``i``).
     threshold:
         The function ``f`` defining independence.
+    prune:
+        Spatial pruning of the blockwise build.  ``None`` (default)
+        prunes whenever the build is blockwise (sparse backend or
+        chunked kernel); ``False`` always evaluates every block pair;
+        ``True`` additionally routes small dense builds through the
+        pruned blockwise path.  The edge set is identical either way.
     """
 
-    def __init__(self, links: LinkSet, threshold: ThresholdFunction) -> None:
+    def __init__(
+        self,
+        links: LinkSet,
+        threshold: ThresholdFunction,
+        *,
+        prune: Optional[bool] = None,
+    ) -> None:
         self.links = links
         self.threshold = threshold
+        self.prune = prune
+        self.candidates = None  # GridCandidateGenerator when pruning ran
         self._sparse = None  # SparseAdjacency when the backend is sparse
         self._adjacency = self._build()
 
@@ -59,16 +82,26 @@ class ConflictGraph:
         return block
 
     def _build(self):
-        # Conflict iff d(i, j) <= l_min * f(l_max / l_min).
+        # Conflict iff d(i, j) <= l_min * f(l_max / l_min).  LinkSet
+        # construction guarantees strictly positive lengths
+        # (DegenerateLinkError otherwise), so the ratio below is always
+        # finite and warning-free.
         lengths = self.links.lengths
         kernel = self.links.kernel()
         backend = kernel.backend
+        blockwise = backend.sparse_adjacency or kernel.chunked or self.prune is True
+        if blockwise and self.prune is not False:
+            self.candidates = conflict_candidates(
+                self.links, self.threshold, block_size=kernel.block_size
+            )
         if backend.sparse_adjacency:
             self._sparse = backend.assemble_adjacency(
-                kernel, lambda rows, cols: self._adjacent_block(kernel, rows, cols)
+                kernel,
+                lambda rows, cols: self._adjacent_block(kernel, rows, cols),
+                candidates=self.candidates,
             )
             return None
-        if not kernel.chunked:
+        if not blockwise:
             gap = self.links.link_distances()
             lmin = np.minimum(lengths[:, None], lengths[None, :])
             lmax = np.maximum(lengths[:, None], lengths[None, :])
@@ -76,9 +109,12 @@ class ConflictGraph:
         else:
             # Large link sets: stream gap distances in row blocks via
             # the kernel cache so no n x n float64 array is allocated
-            # (the boolean adjacency is 8x smaller).
+            # (the boolean adjacency is 8x smaller), skipping block
+            # pairs the candidate generator proves edge-free.
             adjacent = backend.assemble_adjacency(
-                kernel, lambda rows, cols: self._adjacent_block(kernel, rows, cols)
+                kernel,
+                lambda rows, cols: self._adjacent_block(kernel, rows, cols),
+                candidates=self.candidates,
             )
         np.fill_diagonal(adjacent, False)
         adjacent.setflags(write=False)
@@ -89,10 +125,12 @@ class ConflictGraph:
     def adjacency(self) -> np.ndarray:
         """Read-only boolean adjacency matrix.
 
-        Under a sparse backend this *materialises* the dense matrix on
-        first access (guarded by a byte budget) — scale-sensitive code
-        should prefer :meth:`neighbors` / :meth:`degree` /
-        :meth:`is_independent`, which never densify.
+        Under a sparse backend the dense matrix is materialised on
+        first access (guarded by a byte budget), cached on the sparse
+        structure and returned read-only — repeated access allocates
+        once and mutation raises, exactly like the dense path.
+        Scale-sensitive code should prefer :meth:`neighbors` /
+        :meth:`degree` / :meth:`is_independent`, which never densify.
         """
         if self._sparse is not None:
             return self._sparse.to_dense()
@@ -162,7 +200,9 @@ class ConflictGraph:
 
     def subgraph(self, indices: Sequence[int]) -> "ConflictGraph":
         """Induced conflict graph on a subset of links."""
-        return ConflictGraph(self.links.subset(indices), self.threshold)
+        return ConflictGraph(
+            self.links.subset(indices), self.threshold, prune=self.prune
+        )
 
     def __repr__(self) -> str:
         return f"ConflictGraph({self.threshold.name}, n={self.n}, m={self.edge_count})"

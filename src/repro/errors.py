@@ -24,6 +24,18 @@ class LinkError(ReproError):
     """Invalid link or link-set configuration (e.g. zero-length link)."""
 
 
+class DegenerateLinkError(LinkError):
+    """A link of zero (or otherwise non-positive) length: sender and
+    receiver coincide.
+
+    Degenerate links make the conflict-threshold ratio ``l_max / l_min``
+    (and every ``l^alpha`` path-loss term) undefined, so they are
+    rejected eagerly at :class:`~repro.links.linkset.LinkSet` / ``Link``
+    construction instead of surfacing later as numpy divide warnings and
+    NaN adjacency inside the kernel layer.
+    """
+
+
 class InfeasibleError(ReproError):
     """A set of links cannot be made feasible under the requested model.
 

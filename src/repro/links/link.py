@@ -7,7 +7,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.errors import LinkError
+from repro.errors import DegenerateLinkError, LinkError
 
 __all__ = ["Link"]
 
@@ -36,7 +36,7 @@ class Link:
         if len(self.sender) != len(self.receiver):
             raise LinkError("sender and receiver must share a dimension")
         if self.sender == self.receiver:
-            raise LinkError("zero-length link: sender equals receiver")
+            raise DegenerateLinkError("zero-length link: sender equals receiver")
 
     @staticmethod
     def from_arrays(sender, receiver, sender_id: int = -1, receiver_id: int = -1) -> "Link":

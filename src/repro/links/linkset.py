@@ -17,7 +17,7 @@ from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import LinkError
+from repro.errors import DegenerateLinkError, LinkError
 from repro.geometry.distances import cross_distances
 from repro.links.link import Link
 
@@ -67,7 +67,13 @@ class LinkSet:
         else:
             lengths = np.linalg.norm(s - r, axis=1)
         if np.any(lengths <= 0):
-            raise LinkError("all links must have positive length")
+            # Rejected eagerly: a zero-length link would make every
+            # l_max / l_min threshold ratio downstream a divide-by-zero
+            # RuntimeWarning and poison adjacency with NaN.
+            raise DegenerateLinkError(
+                "all links must have positive length "
+                "(zero-length links have coincident sender and receiver)"
+            )
         if not (np.all(np.isfinite(s)) and np.all(np.isfinite(r))):
             raise LinkError("link coordinates must be finite")
         self._senders = s
@@ -217,6 +223,7 @@ class LinkSet:
         max_dense_links: Optional[int] = None,
         force_chunked: Optional[bool] = None,
         backend=None,
+        block_workers: Optional[int] = None,
     ):
         """The :class:`~repro.sinr.kernels.KernelCache` attached to this
         link set (created lazily, shared by all consumers).
@@ -237,10 +244,11 @@ class LinkSet:
             or max_dense_links is not None
             or force_chunked is not None
             or backend is not None
+            or block_workers is not None
         )
         if self._kernel_cache is None or explicit:
             if self._kernel_cache is not None:
-                current_bs, current_mdl, current_fc, current_be = (
+                current_bs, current_mdl, current_fc, current_be, current_bw = (
                     self._kernel_cache.config()
                 )
                 block_size = current_bs if block_size is None else block_size
@@ -249,12 +257,14 @@ class LinkSet:
                 )
                 force_chunked = current_fc if force_chunked is None else force_chunked
                 backend = current_be if backend is None else backend
+                block_workers = current_bw if block_workers is None else block_workers
             requested = KernelCache(
                 self,
                 block_size=block_size,
                 max_dense_links=max_dense_links,
                 force_chunked=bool(force_chunked),
                 backend=backend,
+                block_workers=block_workers,
             )
             if self._kernel_cache is None or self._kernel_cache.config() != requested.config():
                 self._kernel_cache = requested

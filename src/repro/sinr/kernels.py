@@ -48,8 +48,9 @@ users) can verify the memory ceiling.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
@@ -61,6 +62,7 @@ from repro.constants import (
     KERNEL_MAX_DENSE_LINKS,
 )
 from repro.links.linkset import LinkSet
+from repro.util.parallel import map_blocks_ordered
 from repro.util.validation import check_int_min
 
 __all__ = ["KernelCache", "KernelStats", "get_kernel", "power_digest"]
@@ -101,6 +103,30 @@ class KernelStats:
     dense_hits: int = 0
     block_evals: int = 0
     entries_served: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def __getstate__(self) -> dict:
+        # Locks are not picklable; counters travel, the lock is rebuilt.
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def count_block(self, entries: int) -> None:
+        """Record one block evaluation serving ``entries`` entries.
+
+        Blocks may be evaluated from worker threads when
+        ``block_workers > 1``, so the counters are bumped under a lock
+        to stay exact.
+        """
+        with self._lock:
+            self.block_evals += 1
+            self.entries_served += entries
 
     def snapshot(self) -> dict:
         """Counters as a plain dict (for reports and benchmarks)."""
@@ -131,6 +157,11 @@ class KernelCache:
     backend:
         Numeric backend name or instance (default ``dense-numpy``); see
         :mod:`repro.backend`.
+    block_workers:
+        Threads used for independent block evaluations (adjacency tiles,
+        chunked column sums).  Default 1 (serial).  Results are consumed
+        in deterministic submission order regardless of the worker
+        count, so parallel runs stay bit-identical to serial ones.
     """
 
     def __init__(
@@ -141,6 +172,7 @@ class KernelCache:
         max_dense_links: Optional[int] = None,
         force_chunked: bool = False,
         backend=None,
+        block_workers: Optional[int] = None,
     ) -> None:
         from repro.backend import resolve_backend
 
@@ -156,6 +188,11 @@ class KernelCache:
             KERNEL_MAX_DENSE_LINKS if max_dense_links is None else max_dense_links,
             minimum=1,
             hint="use force_chunked=True to disable dense memoization entirely",
+        )
+        self.block_workers = check_int_min(
+            "block_workers",
+            1 if block_workers is None else block_workers,
+            minimum=1,
         )
         self.force_chunked = bool(force_chunked)
         self._dense: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
@@ -179,13 +216,14 @@ class KernelCache:
             or self.n > self.max_dense_links
         )
 
-    def config(self) -> Tuple[int, int, bool, str]:
+    def config(self) -> Tuple[int, int, bool, str, int]:
         """The tuple identifying this cache's configuration."""
         return (
             self.block_size,
             self.max_dense_links,
             self.force_chunked,
             self.backend.name,
+            self.block_workers,
         )
 
     def invalidate(self) -> None:
@@ -272,8 +310,7 @@ class KernelCache:
         rows = as_index_array(rows)
         cols = as_index_array(cols)
         gap = self.backend.gap_block(self.links, rows, cols)
-        self.stats.block_evals += 1
-        self.stats.entries_served += rows.size * cols.size
+        self.stats.count_block(rows.size * cols.size)
         return gap
 
     def srdist_submatrix(self, rows, cols) -> np.ndarray:
@@ -290,8 +327,7 @@ class KernelCache:
 
     def _additive_block(self, alpha: float, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         m = self.backend.additive_block(self.links, alpha, rows, cols)
-        self.stats.block_evals += 1
-        self.stats.entries_served += rows.size * cols.size
+        self.stats.count_block(rows.size * cols.size)
         return m
 
     def additive_matrix(self, alpha: float) -> np.ndarray:
@@ -332,8 +368,7 @@ class KernelCache:
         self, vec: np.ndarray, alpha: float, rows: np.ndarray, cols: np.ndarray
     ) -> np.ndarray:
         rel = self.backend.relative_block(self.links, vec, alpha, rows, cols)
-        self.stats.block_evals += 1
-        self.stats.entries_served += rows.size * cols.size
+        self.stats.count_block(rows.size * cols.size)
         return rel
 
     def relative_submatrix(
@@ -378,8 +413,16 @@ class KernelCache:
             # Bounded n: one block, bit-identical to the seed path.
             return self.backend.colsums(self._relative_block(vec, alpha, idx, idx))
         sums = np.zeros(idx.size)
-        for block in self.iter_blocks(idx):
-            sums += self.backend.colsums(self._relative_block(vec, alpha, block, idx))
+        blocks = list(self.iter_blocks(idx))
+
+        def partial(block: np.ndarray) -> np.ndarray:
+            return self.backend.colsums(self._relative_block(vec, alpha, block, idx))
+
+        # Partials are accumulated strictly in block order (ordered
+        # consumption), so the float sum is bit-identical at any
+        # worker count.
+        for _, part in map_blocks_ordered(partial, blocks, self.block_workers):
+            sums += part
         return sums
 
     # ------------------------------------------------------------------
@@ -392,8 +435,7 @@ class KernelCache:
         self, alpha: float, beta: float, rows: np.ndarray, cols: np.ndarray
     ) -> np.ndarray:
         a = self.backend.affectance_block(self.links, alpha, beta, rows, cols)
-        self.stats.block_evals += 1
-        self.stats.entries_served += rows.size * cols.size
+        self.stats.count_block(rows.size * cols.size)
         return a
 
     def affectance_submatrix(self, model, rows, cols) -> np.ndarray:
@@ -415,6 +457,7 @@ def get_kernel(
     max_dense_links: Optional[int] = None,
     force_chunked: Optional[bool] = None,
     backend=None,
+    block_workers: Optional[int] = None,
 ) -> KernelCache:
     """The :class:`KernelCache` attached to ``links`` (see
     :meth:`LinkSet.kernel`)."""
@@ -423,4 +466,5 @@ def get_kernel(
         max_dense_links=max_dense_links,
         force_chunked=force_chunked,
         backend=backend,
+        block_workers=block_workers,
     )

@@ -1,0 +1,53 @@
+"""Deterministic block-parallel helpers.
+
+The backend layer parallelises *independent* block evaluations
+(adjacency tiles, chunked column-sum partials) with threads, but the
+bit-identity contract (:mod:`repro.backend.base`) requires that
+parallel runs produce byte-identical results to serial ones.  The
+helper here provides exactly that: work is dispatched to a pool, but
+results are consumed strictly in submission order, so every downstream
+accumulation or tile write happens in the same deterministic sequence
+as the serial loop.
+
+This lives in :mod:`repro.util` (not the backend package) so the kernel
+cache can import it without triggering the backend registry's imports.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterator, Sequence, Tuple, TypeVar
+
+__all__ = ["map_blocks_ordered"]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+def map_blocks_ordered(
+    fn: Callable[[_ItemT], _ResultT],
+    items: Sequence[_ItemT],
+    workers: int,
+) -> Iterator[Tuple[_ItemT, _ResultT]]:
+    """Apply ``fn`` over ``items``, yielding ``(item, result)`` in input
+    order — the memory model of backend block parallelism.
+
+    With ``workers <= 1`` this is a plain serial loop.  Otherwise items
+    are dispatched to a thread pool in bounded waves of ``2 * workers``
+    (so at most that many results are in flight, keeping peak memory at
+    a couple of block-sized arrays per worker) and consumed strictly in
+    submission order.  Ordered consumption is what preserves the
+    bit-identity contract under parallelism: floating-point
+    accumulations downstream happen in the same deterministic order as
+    the serial loop, and adjacency tiles land in the same sequence.
+    """
+    if workers <= 1:
+        for item in items:
+            yield item, fn(item)
+        return
+    wave = 2 * workers
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        for start in range(0, len(items), wave):
+            batch = list(items[start : start + wave])
+            for item, result in zip(batch, pool.map(fn, batch)):
+                yield item, result

@@ -272,6 +272,19 @@ class TestOrchestrator:
                 assert welcome["batch_size"] == 2
                 assert welcome["total_cells"] == 6
 
+    def test_default_heartbeat_leaves_two_beats_of_margin(self):
+        # The advertised cadence is a third of the TTL (as documented):
+        # a worker that misses one beat still has two full heartbeat
+        # intervals before its lease expires.
+        with Orchestrator(self.cells(), lease_ttl_s=9.0) as orch:
+            interval = orch.heartbeat_interval_s
+            assert interval == pytest.approx(9.0 / 3.0)
+            assert orch.lease_ttl_s - 2 * interval >= interval
+
+    def test_explicit_heartbeat_interval_wins(self):
+        with Orchestrator(self.cells(), lease_ttl_s=9.0, heartbeat_interval_s=1.5) as orch:
+            assert orch.heartbeat_interval_s == 1.5
+
     def test_lease_result_shutdown_flow(self):
         cells = self.cells(3)
         with Orchestrator(cells, batch_size=2) as orch:

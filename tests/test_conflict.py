@@ -10,8 +10,14 @@ from repro.conflict.functions import (
 )
 from repro.conflict.graph import ConflictGraph, arbitrary_graph, g1_graph, oblivious_graph
 from repro.conflict.independence import inductive_independence_number
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DegenerateLinkError, LinkError
+from repro.links.link import Link
 from repro.links.linkset import LinkSet
+
+# Degenerate links used to surface as numpy divide RuntimeWarnings in
+# the lmax/lmin threshold ratio; they must now be impossible by
+# construction, so any RuntimeWarning in this module is a regression.
+pytestmark = pytest.mark.filterwarnings("error::RuntimeWarning")
 
 
 class TestThresholdFunctions:
@@ -125,6 +131,60 @@ class TestConflictGraph:
         for a in range(4):
             for b in range(4):
                 assert sub.adjacency[a, b] == g.adjacency[a, b]
+
+
+class TestDegenerateLinks:
+    def test_linkset_rejects_zero_length(self):
+        coords = np.array([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(DegenerateLinkError):
+            LinkSet(coords, coords)
+
+    def test_link_rejects_coincident_endpoints(self):
+        with pytest.raises(DegenerateLinkError):
+            Link((0.0, 0.0), (0.0, 0.0))
+
+    def test_degenerate_is_a_link_error(self):
+        # Callers catching the broader LinkError keep working.
+        assert issubclass(DegenerateLinkError, LinkError)
+        with pytest.raises(LinkError):
+            LinkSet(np.zeros((1, 2)), np.zeros((1, 2)))
+
+    def test_graph_build_emits_no_runtime_warnings(self, square_links):
+        # pytestmark escalates RuntimeWarning to an error, so a clean
+        # build across all three thresholds proves the ratio is safe.
+        g1_graph(square_links)
+        oblivious_graph(square_links, delta=0.5)
+        arbitrary_graph(square_links, alpha=3.0)
+
+
+class TestAdjacencyCaching:
+    def _sparse_graph(self):
+        rng = np.random.default_rng(5)
+        senders = rng.uniform(0.0, 30.0, size=(40, 2))
+        links = LinkSet(senders, senders + rng.uniform(0.3, 1.0, size=(40, 2)))
+        links.kernel(backend="blocked-sparse", block_size=8)
+        return g1_graph(links)
+
+    def test_sparse_adjacency_allocates_once(self):
+        graph = self._sparse_graph()
+        assert graph.adjacency is graph.adjacency
+
+    def test_sparse_adjacency_is_read_only(self):
+        graph = self._sparse_graph()
+        with pytest.raises(ValueError):
+            graph.adjacency[0, 1] = True
+
+    def test_dense_adjacency_is_read_only(self, square_links):
+        graph = g1_graph(square_links)
+        assert graph.adjacency is graph.adjacency
+        with pytest.raises(ValueError):
+            graph.adjacency[0, 1] = True
+
+    def test_sparse_dense_views_agree(self):
+        graph = self._sparse_graph()
+        dense = graph.adjacency
+        for i in range(graph.n):
+            assert np.array_equal(np.flatnonzero(dense[i]), graph.neighbors(i))
 
 
 class TestInductiveIndependence:

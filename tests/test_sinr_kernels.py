@@ -294,7 +294,52 @@ class TestConfigValidation:
         with pytest.raises(ConfigurationError):
             KernelCache(square_links, block_size=0)
 
+    def test_bad_block_workers(self, square_links):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            KernelCache(square_links, block_workers=0)
+
     def test_stats_snapshot(self, square_links, model):
         additive_interference(square_links, model.alpha, [0, 1], 2)
         snap = square_links.kernel().stats.snapshot()
         assert snap["entries_served"] >= 2
+
+
+class TestBlockWorkers:
+    def test_default_is_serial(self, square_links):
+        assert square_links.kernel().block_workers == 1
+
+    def test_config_tuple_includes_workers(self):
+        links = _random_links(10, 0)
+        cache = links.kernel(block_workers=3)
+        assert cache.config()[-1] == 3
+        # Reconfiguring another option preserves the worker count.
+        cache2 = links.kernel(block_size=7)
+        assert cache2.block_workers == 3
+
+    def test_parallel_colsums_bit_identical(self, model):
+        links_serial = _random_links(40, 4)
+        links_serial.kernel(force_chunked=True, block_size=5)
+        links_par = _random_links(40, 4)
+        links_par.kernel(force_chunked=True, block_size=5, block_workers=4)
+        vec = np.linspace(1.0, 2.0, 40)
+        idx = np.arange(40)
+        serial = links_serial.kernel().relative_colsums(vec, model.alpha, idx)
+        parallel = links_par.kernel().relative_colsums(vec, model.alpha, idx)
+        assert serial.tobytes() == parallel.tobytes()
+
+    def test_parallel_stats_are_exact(self, model):
+        links = _random_links(40, 4)
+        cache = links.kernel(force_chunked=True, block_size=5, block_workers=4)
+        cache.relative_colsums(np.ones(40), model.alpha, np.arange(40))
+        assert cache.stats.block_evals == 8  # ceil(40 / 5) blocks
+
+    def test_stats_pickle_roundtrip(self, square_links, model):
+        import pickle
+
+        additive_interference(square_links, model.alpha, [0, 1], 2)
+        stats = square_links.kernel().stats
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.snapshot() == stats.snapshot()
+        clone.count_block(4)  # the rebuilt lock works
